@@ -1,0 +1,88 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"bitflow/internal/bench"
+	"bitflow/internal/paperdata"
+	"bitflow/internal/sched"
+)
+
+// runFig8 regenerates paper Fig. 8: BitFlow acceleration over the
+// single-thread float operator at 1 and 4 threads (the i7-7700HQ setup).
+func runFig8(feat sched.Features) error {
+	paper := map[string][]float64{}
+	for _, r := range paperdata.Fig8 {
+		paper[r.Op] = []float64{r.Thread1, r.Thread4}
+	}
+	return runScaling(feat, "Fig. 8: multi-core scaling, i7 setup (single-thread float = 1x)",
+		[]int{1, 4}, paper)
+}
+
+// runFig9 regenerates paper Fig. 9: 1/4/16/64 threads (the Xeon Phi 7210
+// setup).
+func runFig9(feat sched.Features) error {
+	paper := map[string][]float64{}
+	for _, r := range paperdata.Fig9 {
+		paper[r.Op] = []float64{r.Thread1, r.Thread4, r.Thread16, r.Thread64}
+	}
+	return runScaling(feat, "Fig. 9: multi-core scaling, Xeon Phi setup (single-thread float = 1x)",
+		[]int{1, 4, 16, 64}, paper)
+}
+
+// runScaling measures BitFlow at each thread count and reports the
+// acceleration over the single-thread float baseline. On hosts with
+// fewer physical cores than a requested thread count the measured number
+// cannot exhibit real parallel speedup, so a modeled column (load-balance
+// + Amdahl + bandwidth model, internal/bench/scaling.go) is printed
+// alongside and flagged.
+func runScaling(feat sched.Features, title string, threads []int, paper map[string][]float64) error {
+	fmt.Printf("== %s ==\n", title)
+	cores := bench.PhysicalCores()
+	header := []string{"op", "float(1t)"}
+	for _, p := range threads {
+		header = append(header, fmt.Sprintf("bnn %dt", p))
+		header = append(header, fmt.Sprintf("accel %dt", p))
+		header = append(header, fmt.Sprintf("model %dt", p))
+		header = append(header, fmt.Sprintf("paper %dt", p))
+	}
+	t := bench.NewTable(header...)
+	for _, cfg := range ops() {
+		or, err := buildRunners(cfg, feat, *flagSeed)
+		if err != nil {
+			return err
+		}
+		tFloat := measure(or.float, 1)
+		t1 := measure(or.bitflow, 1)
+		serial, mem := scaleFracs(cfg)
+		model := bench.ScalingModel{Units: or.units, SerialFrac: serial, MemBoundFrac: mem}
+		row := []any{cfg.Name, bench.Ms(tFloat)}
+		pvals := paper[paperName(cfg.Name)]
+		for i, p := range threads {
+			var tp = t1
+			if p > 1 {
+				tp = measure(or.bitflow, p)
+			}
+			accel := bench.Speedup(tFloat, tp)
+			if !bench.HostCanMeasureThreads(p) {
+				accel += "*"
+			}
+			modeled := bench.Ratio(tFloat, t1) * model.Speedup(p)
+			paperS := "-"
+			if pvals != nil && i < len(pvals) {
+				paperS = fmt.Sprintf("%.0fx≈", pvals[i])
+			}
+			row = append(row, bench.Ms(tp), accel, fmt.Sprintf("%.0fx", modeled), paperS)
+		}
+		t.Row(row...)
+	}
+	t.Render(os.Stdout)
+	if maxT := threads[len(threads)-1]; maxT > cores {
+		fmt.Printf("\n  * this host has %d usable core(s): measured multi-thread accelerations cannot\n", cores)
+		fmt.Println("    exceed the single-thread ones; the 'model Nt' column applies the documented")
+		fmt.Println("    load-balance/Amdahl/bandwidth scaling model to the measured 1-thread time.")
+	}
+	fmt.Println()
+	return nil
+}

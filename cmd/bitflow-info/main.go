@@ -1,0 +1,74 @@
+// Command bitflow-info prints the vector execution scheduler's view of
+// this machine: the detected features, the kernel tier table (the paper's
+// Table I analogue), and the operator→kernel mapping for the VGG channel
+// ladder (the paper's Fig. 6).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bitflow/internal/ait"
+	"bitflow/internal/bench"
+	"bitflow/internal/kernels"
+	"bitflow/internal/sched"
+	"bitflow/internal/workload"
+)
+
+func main() {
+	flag.Parse()
+	feat := sched.Detect()
+	fmt.Println("BitFlow vector execution scheduler report")
+	fmt.Println()
+	fmt.Printf("  hardware detector: %s\n", feat)
+	fmt.Printf("  usable cores:      %d\n", bench.PhysicalCores())
+	fmt.Printf("  width cap env:     %s (set to 64/128/256/512 to emulate narrower machines)\n", sched.MaxWidthEnv)
+	fmt.Println()
+
+	fmt.Println("kernel tiers (Table I analogue — Go multi-word kernels standing in for SIMD):")
+	kt := bench.NewTable("tier", "bits", "words/step", "simulates")
+	sim := map[kernels.Width]string{
+		kernels.W64:  "scalar bitwise ops (uint64 XOR + POPCNT)",
+		kernels.W128: "SSE _mm_xor_si128 + popcount",
+		kernels.W256: "AVX2 _mm256_xor_si256 + popcount",
+		kernels.W512: "AVX-512 _mm512_xor_si512 + _mm512_popcnt_epi64",
+	}
+	for i := len(kernels.Widths) - 1; i >= 0; i-- {
+		w := kernels.Widths[i]
+		kt.Row(w, w.Bits(), w.Words(), sim[w])
+	}
+	kt.Render(os.Stdout)
+	fmt.Println()
+
+	fmt.Println("operator → kernel mapping for the VGG channel ladder (Fig. 6):")
+	mt := bench.NewTable("operator", "channels", "kernel", "packed words", "pad lanes")
+	rows := []struct {
+		op string
+		c  int
+	}{
+		{"conv1.1", 3}, {"conv2.1", 64}, {"conv3.1", 128}, {"conv4.1", 256}, {"conv5.1", 512},
+		{"fc6 (N)", 7 * 7 * 512}, {"fc7 (N)", 4096},
+	}
+	for _, r := range rows {
+		p := sched.Select(r.c, feat)
+		mt.Row(r.op, r.c, p.Width, p.Words, p.PadLanes())
+	}
+	mt.Render(os.Stdout)
+	fmt.Println()
+
+	fmt.Println("arithmetic intensity of the Table IV convolutions (§III-A):")
+	at := bench.NewTable("op", "intrinsic AIT", "im2col AIT (float)", "im2col AIT (binary/64)")
+	for _, cfg := range workload.PaperOps() {
+		if cfg.Kind != workload.OpConv {
+			continue
+		}
+		c := ait.Conv{H: cfg.H, W: cfg.W, C: cfg.C, K: cfg.K, KH: cfg.KH, KW: cfg.KW}
+		b := ait.Binary{Conv: c, Factor: 64}
+		at.Row(cfg.Name,
+			fmt.Sprintf("%.1f", c.IntrinsicAIT()),
+			fmt.Sprintf("%.1f", c.Im2colAIT()),
+			fmt.Sprintf("%.2f", b.Im2colAIT()))
+	}
+	at.Render(os.Stdout)
+}

@@ -1,0 +1,62 @@
+// Command bitflow-serve exposes a BitFlow model over HTTP:
+//
+//	bitflow-train -out model.bflw
+//	bitflow-serve -load model.bflw -addr :8080 -replicas 4
+//	curl -s localhost:8080/model
+//	curl -s -X POST localhost:8080/infer -d '{"data":[...]}'
+//
+// Without -load it serves a demo TinyVGG with random weights.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"bitflow/internal/bench"
+	"bitflow/internal/graph"
+	"bitflow/internal/sched"
+	"bitflow/internal/serve"
+)
+
+var (
+	flagLoad     = flag.String("load", "", "packed model file (default: demo TinyVGG)")
+	flagAddr     = flag.String("addr", ":8080", "listen address")
+	flagReplicas = flag.Int("replicas", bench.PhysicalCores(), "network clones for concurrent requests")
+	flagThreads  = flag.Int("threads", 1, "worker threads per inference")
+)
+
+func main() {
+	flag.Parse()
+	feat := sched.Detect()
+
+	var (
+		net *graph.Network
+		err error
+	)
+	if *flagLoad != "" {
+		f, ferr := os.Open(*flagLoad)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "bitflow-serve: %v\n", ferr)
+			os.Exit(1)
+		}
+		net, err = graph.Load(f, feat)
+		f.Close()
+	} else {
+		net, err = graph.TinyVGG(feat, graph.RandomWeights{Seed: 1})
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bitflow-serve: %v\n", err)
+		os.Exit(1)
+	}
+	net.Threads = *flagThreads
+
+	srv := serve.New(net, *flagReplicas)
+	fmt.Printf("serving %s (%dx%dx%d → %d classes) on %s with %d replica(s)\n",
+		net.Name, net.InH, net.InW, net.InC, net.Classes, *flagAddr, *flagReplicas)
+	if err := http.ListenAndServe(*flagAddr, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "bitflow-serve: %v\n", err)
+		os.Exit(1)
+	}
+}

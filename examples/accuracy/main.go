@@ -1,0 +1,53 @@
+// Accuracy experiment: train the same architecture in full precision and
+// binarized (sign weights/activations, straight-through estimator) on
+// synthetic tasks of increasing difficulty — the shape of paper Table V.
+// Also shows the harder ring-topology task where binarized training
+// struggles most.
+//
+//	go run ./examples/accuracy
+//	go run ./examples/accuracy -epochs 60
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"bitflow/internal/nn"
+	"bitflow/internal/workload"
+)
+
+var (
+	flagEpochs = flag.Int("epochs", 40, "training epochs")
+	flagSeed   = flag.Uint64("seed", 2018, "data/init seed")
+)
+
+func main() {
+	flag.Parse()
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = *flagEpochs
+
+	fmt.Println("Table V reproduction: full-precision vs binarized, identical architectures")
+	fmt.Println()
+	rows := nn.TableVExperiment(*flagSeed, cfg)
+	fmt.Printf("  %-50s %-10s %-10s %s\n", "task", "float", "binarized", "gap (pp)")
+	for _, r := range rows {
+		fmt.Printf("  %-50s %-10.1f %-10.1f %.1f\n", r.Task, 100*r.FullPrecision, 100*r.Binarized, r.Gap())
+	}
+	fmt.Println()
+	fmt.Println("  paper (VGG on real datasets): MNIST 99.4→98.2, CIFAR-10 92.5→87.8,")
+	fmt.Println("  ImageNet top-5 88.4→76.8 — the same small-but-widening gap.")
+
+	// Bonus: the ring task. Sign-constrained first-layer weights
+	// approximate radial decision boundaries poorly, so binarized
+	// training is noticeably harder here — width helps.
+	fmt.Println("\nring topology (hard mode for binarized nets):")
+	r := workload.NewRNG(*flagSeed)
+	ringsData := nn.Rings(r, 2400, 6, 3)
+	for _, hidden := range [][]int{{48, 48}, {96, 96}} {
+		res := nn.CompareOnDataset(fmt.Sprintf("rings, hidden %v", hidden), ringsData, hidden, cfg, *flagSeed+9)
+		fmt.Printf("  %-30s float %.1f%%  binarized %.1f%%  gap %.1fpp\n",
+			res.Task, 100*res.FullPrecision, 100*res.Binarized, res.Gap())
+	}
+	fmt.Println("\n(model size is exact, not simulated: see `bitflow-bench table5` for the 32x")
+	fmt.Println(" compression of binarized VGG-16)")
+}

@@ -1,0 +1,78 @@
+// Deploy: the full train → export → save → load → serve pipeline in one
+// program, using the public API plus the from-scratch trainer. This is
+// the deployment story the paper motivates ("a stand-alone inference
+// engine … substantially simplifies its deployment in practical
+// applications"): the artifact that ships is a few KB of packed bits
+// plus integer thresholds; no floats, no framework.
+//
+//	go run ./examples/deploy
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"bitflow"
+	"bitflow/internal/nn"
+	"bitflow/internal/workload"
+)
+
+func main() {
+	// 1. Train a fully binarized classifier (sign weights/activations,
+	// straight-through estimator) on a synthetic 4-class task.
+	r := workload.NewRNG(7)
+	data := nn.Clusters(r, 2000, 16, 4, 1.0)
+	train, test := data.Split(0.8)
+
+	m := nn.NewMLP(workload.NewRNG(8), []int{16, 48, 4}, true)
+	m.BinarizeInput = true
+	m.Train(train, nn.TrainConfig{Epochs: 25, BatchSize: 16, LR: 0.05, Seed: 9})
+	fmt.Printf("trained binarized MLP: test accuracy %.1f%%\n", 100*m.Accuracy(test))
+
+	// 2. Export to the packed engine. Biases fold into integer sign
+	// thresholds; logits are bit-exact with the trainer.
+	feat := bitflow.Detect()
+	net, err := nn.Export(m, "deploy-demo", feat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Serialize — this is the deployable artifact.
+	var artifact bytes.Buffer
+	nBytes, err := net.Save(&artifact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("packed model artifact: %d bytes (float32 weights would be %d)\n",
+		nBytes, net.ModelSize().FullPrecisionBytes)
+
+	// 4. Load it "on the edge device" — here, emulating a narrower
+	// machine (scalar-only kernels). Packed weights are tier-independent.
+	edgeFeat := feat
+	edgeFeat.MaxWidth = bitflow.W64
+	served, err := bitflow.Load(&artifact, edgeFeat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Serve. Verify against the trainer on the test split.
+	agree, correct := 0, 0
+	for i, x := range test.X {
+		logits := served.Infer(bitflow.TensorFromSlice(1, 1, len(x), x))
+		best := 0
+		for c, v := range logits {
+			if v > logits[best] {
+				best = c
+			}
+		}
+		if best == m.Predict(x) {
+			agree++
+		}
+		if best == test.Y[i] {
+			correct++
+		}
+	}
+	fmt.Printf("served %d requests: %.1f%% accurate, %d/%d bit-exact with the trainer\n",
+		test.Len(), 100*float64(correct)/float64(test.Len()), agree, test.Len())
+}

@@ -1,0 +1,47 @@
+// Scheduler tour: show how the vector execution scheduler (paper §III-B,
+// Fig. 4/6) maps channel counts to computing kernels, and what changes
+// when the hardware is narrower.
+//
+//	go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+
+	"bitflow"
+)
+
+func main() {
+	feat := bitflow.Detect()
+	fmt.Println("detected:", feat)
+	fmt.Println()
+
+	channels := []int{3, 24, 64, 96, 100, 128, 192, 256, 384, 512, 768, 1024, 4096, 25088}
+
+	fmt.Println("kernel selection on this machine (paper §III-B rules):")
+	fmt.Printf("  %-9s %-9s %-6s %s\n", "channels", "kernel", "words", "zero-pad lanes")
+	for _, c := range channels {
+		p := bitflow.PlanFor(c, feat)
+		fmt.Printf("  %-9d %-9v %-6d %d\n", c, p.Width, p.Words, p.PadLanes())
+	}
+
+	// Emulate narrower machines, as the paper contrasts Xeon Phi
+	// (AVX-512) with Core i7 (AVX2): the same channel count lands on a
+	// narrower kernel when the wide tier is unavailable.
+	fmt.Println("\nthe same ladder on progressively narrower machines:")
+	fmt.Printf("  %-9s", "channels")
+	caps := []bitflow.Width{bitflow.W512, bitflow.W256, bitflow.W128, bitflow.W64}
+	for _, cap := range caps {
+		fmt.Printf(" %-9v", cap)
+	}
+	fmt.Println()
+	for _, c := range channels {
+		fmt.Printf("  %-9d", c)
+		for _, cap := range caps {
+			f := feat
+			f.MaxWidth = cap
+			fmt.Printf(" %-9v", bitflow.PlanFor(c, f).Width)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module bitflow
+
+go 1.22

@@ -1,0 +1,102 @@
+package ait
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func conv21() Conv { return Conv{H: 112, W: 112, C: 64, K: 128, KH: 3, KW: 3} }
+
+func TestEquationValues(t *testing.T) {
+	c := conv21()
+	if got, want := c.Ops(), 2.0*64*112*112*128*3*3; got != want {
+		t.Errorf("A = %g want %g", got, want)
+	}
+	if got, want := c.InputSize(), 64.0*112*112; got != want {
+		t.Errorf("|I| = %g want %g", got, want)
+	}
+	if got, want := c.WeightSize(), 128.0*64*3*3; got != want {
+		t.Errorf("|W| = %g want %g", got, want)
+	}
+	if got, want := c.OutputSize(), 128.0*110*110; got != want {
+		t.Errorf("|O| = %g want %g", got, want)
+	}
+	if got, want := c.UnfoldedSize(), 110.0*110*64*3*3; got != want {
+		t.Errorf("|U| = %g want %g", got, want)
+	}
+}
+
+func TestIm2colFractionBelowOne(t *testing.T) {
+	f := func(h, c, k uint8) bool {
+		conv := Conv{H: int(h)%60 + 4, W: int(h)%60 + 4, C: int(c)%512 + 1, K: int(k)%512 + 1, KH: 3, KW: 3}
+		fr := conv.Im2colFraction()
+		return fr > 0 && fr < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIm2colAITConsistency(t *testing.T) {
+	// Im2colAIT must equal IntrinsicAIT × Im2colFraction.
+	c := conv21()
+	lhs := c.Im2colAIT()
+	rhs := c.IntrinsicAIT() * c.Im2colFraction()
+	if rel := (lhs - rhs) / rhs; rel > 1e-12 || rel < -1e-12 {
+		t.Errorf("Im2colAIT %g != intrinsic×fraction %g", lhs, rhs)
+	}
+}
+
+func TestUnfoldBlowupApproxKhKw(t *testing.T) {
+	// "The unfolding procedure increases the size of the input by
+	// approximately a factor of h·w."
+	c := conv21()
+	ratio := c.UnfoldedSize() / c.InputSize()
+	if ratio < 8 || ratio > 9 {
+		t.Errorf("unfold blow-up %g, expected ≈ 9 for 3×3", ratio)
+	}
+}
+
+func TestBinaryAITLowerThanFloat(t *testing.T) {
+	// §III-A: bit-packing "amplifies the overhead of unfolding … and
+	// makes AIT even lower" — the binary image-to-column AIT drops below
+	// the float one for every Table IV conv shape, because the op count
+	// divides by Factor while the output term does not shrink.
+	shapes := []Conv{
+		conv21(),
+		{H: 56, W: 56, C: 128, K: 256, KH: 3, KW: 3},
+		{H: 28, W: 28, C: 256, K: 512, KH: 3, KW: 3},
+		{H: 14, W: 14, C: 512, K: 512, KH: 3, KW: 3},
+	}
+	for _, c := range shapes {
+		for _, factor := range []int{32, 64} {
+			b := Binary{Conv: c, Factor: factor}
+			if b.Im2colAIT() >= c.Im2colAIT() {
+				t.Errorf("%v factor=%d: binary im2col AIT %g not below float %g",
+					c, factor, b.Im2colAIT(), c.Im2colAIT())
+			}
+		}
+	}
+}
+
+func TestBinaryAITQuick(t *testing.T) {
+	f := func(h, c, k uint8) bool {
+		conv := Conv{H: int(h)%60 + 4, W: int(h)%60 + 4, C: int(c)%512 + 1, K: int(k)%512 + 1, KH: 3, KW: 3}
+		b := Binary{Conv: conv, Factor: 64}
+		return b.Im2colAIT() < conv.Im2colAIT() && b.Im2colAIT() < b.IntrinsicAIT()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryIntrinsicAITDropsByPacking(t *testing.T) {
+	// Packing divides ops by Factor but shrinks only I and W, not O:
+	// binary intrinsic AIT must be below float intrinsic AIT (this is
+	// the "low arithmetic intensity" of binary convolution).
+	c := conv21()
+	b := Binary{Conv: c, Factor: 64}
+	if b.IntrinsicAIT() >= c.IntrinsicAIT() {
+		t.Errorf("binary intrinsic AIT %g not below float %g", b.IntrinsicAIT(), c.IntrinsicAIT())
+	}
+}

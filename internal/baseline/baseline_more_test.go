@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"testing"
+
+	"bitflow/internal/tensor"
+	"bitflow/internal/workload"
+)
+
+func TestIm2colStrided(t *testing.T) {
+	// 4×4 input, 2×2 kernel, stride 2: four non-overlapping windows.
+	in := tensor.FromSlice(4, 4, 1, []float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	})
+	u := Im2col(in, 2, 2, 2, 0, 0)
+	if u.Rows != 4 || u.Cols != 4 {
+		t.Fatalf("shape %v", u)
+	}
+	want := [][]float32{
+		{1, 2, 5, 6},
+		{3, 4, 7, 8},
+		{9, 10, 13, 14},
+		{11, 12, 15, 16},
+	}
+	for r, row := range want {
+		for c, v := range row {
+			if u.At(r, c) != v {
+				t.Errorf("u[%d][%d] = %v want %v", r, c, u.At(r, c), v)
+			}
+		}
+	}
+}
+
+func TestConvIm2colNegativePad(t *testing.T) {
+	// The binarized pad convention (−1) must agree between the direct
+	// and the im2col float paths.
+	r := workload.NewRNG(180)
+	in := workload.PM1Tensor(r, 5, 5, 4)
+	f := workload.PM1Filter(r, 3, 3, 3, 4)
+	direct := ConvDirect(in, f, 1, 1, -1, 1)
+	viaIm2col := ConvIm2col(in, f, 1, 1, -1, 1)
+	if !direct.Equal(viaIm2col) {
+		t.Errorf("pad -1: direct vs im2col max diff %g", direct.MaxAbsDiff(viaIm2col))
+	}
+}
+
+func TestBinaryIm2colStride2(t *testing.T) {
+	r := workload.NewRNG(181)
+	in := workload.PM1Tensor(r, 8, 8, 64)
+	f := workload.PM1Filter(r, 4, 2, 2, 64)
+	bc := NewBinaryIm2colConv(f, 2, 0)
+	got := bc.Forward(in, 1)
+	want := ConvDirect(in, f, 2, 0, -1, 1)
+	if !got.Equal(want) {
+		t.Error("strided binary im2col differs from direct")
+	}
+}
+
+func TestSgemmIntoAccumulates(t *testing.T) {
+	a := tensor.MatrixFromSlice(1, 2, []float32{1, 2})
+	b := tensor.MatrixFromSlice(2, 1, []float32{3, 4})
+	c := tensor.NewMatrix(1, 1)
+	c.Set(0, 0, 100)
+	SgemmInto(a, b, c)
+	// SgemmInto accumulates: 100 + 1·3 + 2·4 = 111.
+	if c.At(0, 0) != 111 {
+		t.Errorf("accumulation got %v want 111", c.At(0, 0))
+	}
+}
+
+func TestDenseFloatPanics(t *testing.T) {
+	w := tensor.NewMatrix(3, 2)
+	for name, fn := range map[string]func(){
+		"bad input":  func() { DenseFloat(make([]float32, 4), w, make([]float32, 2), 1) },
+		"bad output": func() { DenseFloat(make([]float32, 3), w, make([]float32, 5), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMaxPoolFloatPanicsOnOversizedWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MaxPoolFloat(tensor.New(2, 2, 1), 3, 3, 3, 1)
+}

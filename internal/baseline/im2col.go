@@ -1,0 +1,63 @@
+package baseline
+
+import (
+	"fmt"
+
+	"bitflow/internal/tensor"
+)
+
+// Im2col unfolds in for a KH×KW/stride/pad convolution (paper §II-B,
+// Fig. 2b): each output position becomes one row of (KH*KW*C) values,
+// ordered (i, j, c) to match tensor.Filter's tap layout, so the weight
+// matrix row for filter k is simply filter k flattened. Positions that
+// fall in the padding ring take the value padVal (0 for float networks,
+// −1 for binarized ones — bit-level zero padding pads the bit 0, which
+// decodes to feature −1).
+//
+// The unfolded matrix is larger than the input by roughly a factor of
+// KH*KW — the memory blow-up behind the AIT argument of paper §III-A.
+func Im2col(in *tensor.Tensor, kh, kw, stride, pad int, padVal float32) *tensor.Matrix {
+	outH := (in.H+2*pad-kh)/stride + 1
+	outW := (in.W+2*pad-kw)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("baseline: Im2col window %dx%d does not fit %v (pad %d)", kh, kw, in, pad))
+	}
+	cols := kh * kw * in.C
+	u := tensor.NewMatrix(outH*outW, cols)
+	for y := 0; y < outH; y++ {
+		for x := 0; x < outW; x++ {
+			row := u.Row(y*outW + x)
+			y0 := y*stride - pad
+			x0 := x*stride - pad
+			pos := 0
+			for i := 0; i < kh; i++ {
+				sy := y0 + i
+				for j := 0; j < kw; j++ {
+					sx := x0 + j
+					dst := row[pos : pos+in.C]
+					if sy < 0 || sy >= in.H || sx < 0 || sx >= in.W {
+						for c := range dst {
+							dst[c] = padVal
+						}
+					} else {
+						copy(dst, in.Pixel(sy, sx))
+					}
+					pos += in.C
+				}
+			}
+		}
+	}
+	return u
+}
+
+// FilterMatrix flattens a filter bank into the K×(KH*KW*C) weight matrix
+// of the image-to-column method (Fig. 2c); row k is filter k in (i, j, c)
+// order. The returned matrix shares no storage with f.
+func FilterMatrix(f *tensor.Filter) *tensor.Matrix {
+	cols := f.KH * f.KW * f.C
+	w := tensor.NewMatrix(f.K, cols)
+	for k := 0; k < f.K; k++ {
+		copy(w.Row(k), f.Data[k*cols:(k+1)*cols])
+	}
+	return w
+}

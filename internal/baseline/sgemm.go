@@ -1,0 +1,97 @@
+package baseline
+
+import (
+	"fmt"
+
+	"bitflow/internal/tensor"
+)
+
+// sgemm block sizes: a modest cache-blocking scheme (the paper's float
+// baseline rides MKL/OpenBLAS; ours is a portable blocked kernel).
+const (
+	sgemmMC = 64  // rows of A per block
+	sgemmKC = 256 // inner dimension per block
+)
+
+// Sgemm computes C = A×B for row-major float32 matrices with k-blocked
+// i-k-j loops (streaming writes to C rows, unit-stride reads of B rows).
+func Sgemm(a, b *tensor.Matrix) *tensor.Matrix {
+	c := tensor.NewMatrix(a.Rows, b.Cols)
+	SgemmInto(a, b, c)
+	return c
+}
+
+// SgemmInto computes C += A×B into the (pre-zeroed by caller if desired)
+// matrix c. c must be a.Rows × b.Cols.
+func SgemmInto(a, b, c *tensor.Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("baseline: Sgemm %v × %v -> %v shape mismatch", a, b, c))
+	}
+	sgemmRows(a, b, c, 0, a.Rows)
+}
+
+// SgemmParallel runs Sgemm with rows of A split across threads.
+func SgemmParallel(a, b *tensor.Matrix, threads int) *tensor.Matrix {
+	c := tensor.NewMatrix(a.Rows, b.Cols)
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("baseline: Sgemm %v × %v inner dim mismatch", a, b))
+	}
+	if threads <= 1 || a.Rows < 2*threads {
+		sgemmRows(a, b, c, 0, a.Rows)
+		return c
+	}
+	done := make(chan struct{}, threads)
+	chunk := (a.Rows + threads - 1) / threads
+	n := 0
+	for r0 := 0; r0 < a.Rows; r0 += chunk {
+		r1 := min(r0+chunk, a.Rows)
+		n++
+		go func(r0, r1 int) {
+			sgemmRows(a, b, c, r0, r1)
+			done <- struct{}{}
+		}(r0, r1)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	return c
+}
+
+// sgemmRows computes rows [r0, r1) of C = A×B with k-blocking.
+func sgemmRows(a, b, c *tensor.Matrix, r0, r1 int) {
+	n := b.Cols
+	for kc := 0; kc < a.Cols; kc += sgemmKC {
+		kEnd := min(kc+sgemmKC, a.Cols)
+		for mc := r0; mc < r1; mc += sgemmMC {
+			mEnd := min(mc+sgemmMC, r1)
+			for i := mc; i < mEnd; i++ {
+				arow := a.Row(i)
+				crow := c.Row(i)
+				for k := kc; k < kEnd; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					brow := b.Data[k*n : (k+1)*n]
+					axpy(crow, brow, av)
+				}
+			}
+		}
+	}
+}
+
+// axpy computes dst += alpha*src, unrolled by 4.
+func axpy(dst, src []float32, alpha float32) {
+	n := len(dst)
+	_ = src[n-1]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] += alpha * src[i]
+		dst[i+1] += alpha * src[i+1]
+		dst[i+2] += alpha * src[i+2]
+		dst[i+3] += alpha * src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += alpha * src[i]
+	}
+}

@@ -1,0 +1,116 @@
+// Package bench provides the measurement utilities shared by the
+// benchmark harness (cmd/bitflow-bench) and the testing.B benchmarks:
+// repeated-run median timing, aligned table rendering, and a documented
+// load-balance scaling model for hosts with fewer physical cores than
+// the paper's machines.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Measure runs f repeatedly and returns the median wall-clock duration.
+// A warm-up run precedes measurement, and f is re-run until both `runs`
+// samples are collected and `minTotal` of measured time has accumulated,
+// so fast operators get enough samples for a stable median.
+func Measure(runs int, minTotal time.Duration, f func()) time.Duration {
+	if runs < 1 {
+		runs = 1
+	}
+	f() // warm-up
+	var samples []time.Duration
+	var total time.Duration
+	for len(samples) < runs || total < minTotal {
+		t0 := time.Now()
+		f()
+		d := time.Since(t0)
+		samples = append(samples, d)
+		total += d
+		if len(samples) >= 10_000 {
+			break
+		}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[len(samples)/2]
+}
+
+// Ms formats a duration as milliseconds with two decimals.
+func Ms(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+}
+
+// Table renders aligned text tables for the harness output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; cells are stringified with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Speedup formats a ratio as "12.3x".
+func Speedup(baseline, measured time.Duration) string {
+	if measured <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", float64(baseline)/float64(measured))
+}
+
+// Ratio returns baseline/measured as a float.
+func Ratio(baseline, measured time.Duration) float64 {
+	if measured <= 0 {
+		return 0
+	}
+	return float64(baseline) / float64(measured)
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeasureReturnsPlausibleMedian(t *testing.T) {
+	d := Measure(3, 0, func() { time.Sleep(2 * time.Millisecond) })
+	if d < time.Millisecond || d > 50*time.Millisecond {
+		t.Errorf("median %v implausible for a 2ms body", d)
+	}
+}
+
+func TestMeasureCollectsMinTotal(t *testing.T) {
+	// Robust to CPU load: assert on accumulated wall time, not on a run
+	// count derived from the nominal sleep duration.
+	n := 0
+	var total time.Duration
+	Measure(1, 20*time.Millisecond, func() {
+		n++
+		t0 := time.Now()
+		time.Sleep(time.Millisecond)
+		total += time.Since(t0)
+	})
+	// Measure's own accounting excludes the warm-up run, so our total
+	// (which includes it) must be at least minTotal.
+	if total < 20*time.Millisecond {
+		t.Errorf("accumulated only %v; minTotal not honored", total)
+	}
+	if n < 3 {
+		t.Errorf("only %d runs for a ~1ms body", n)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("op", "time")
+	tb.Row("conv2.1", "1.23ms")
+	tb.Row("fc6", "0.40ms")
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"op", "time", "conv2.1", "fc6", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("expected 4 lines, got %d", len(lines))
+	}
+}
+
+func TestSpeedupFormat(t *testing.T) {
+	if s := Speedup(10*time.Millisecond, 2*time.Millisecond); s != "5.0x" {
+		t.Errorf("Speedup = %q", s)
+	}
+	if s := Speedup(time.Millisecond, 0); s != "inf" {
+		t.Errorf("Speedup zero = %q", s)
+	}
+	if r := Ratio(10*time.Millisecond, 4*time.Millisecond); r != 2.5 {
+		t.Errorf("Ratio = %v", r)
+	}
+}
+
+func TestLoadBalancedParallelism(t *testing.T) {
+	cases := []struct {
+		units, p int
+		want     float64
+	}{
+		{196, 1, 1},
+		{196, 4, 196.0 / 49},   // 14×14 conv5.1 grid, 4 threads: perfect
+		{196, 64, 196.0 / 4.0}, // 64 threads: chunks of 4 → only 49×
+		{100, 100, 100},
+		{10, 64, 10}, // more threads than units
+		{1, 8, 1},
+	}
+	for _, tc := range cases {
+		if got := LoadBalancedParallelism(tc.units, tc.p); got != tc.want {
+			t.Errorf("LoadBalancedParallelism(%d,%d) = %v want %v", tc.units, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestScalingModelMonotone(t *testing.T) {
+	m := ScalingModel{Units: 112 * 112, SerialFrac: 0.02}
+	prev := 0.0
+	for _, p := range []int{1, 2, 4, 16, 64} {
+		s := m.Speedup(p)
+		if s < prev {
+			t.Errorf("speedup not monotone at p=%d: %v < %v", p, s, prev)
+		}
+		prev = s
+	}
+	if s := m.Speedup(1); s != 1 {
+		t.Errorf("Speedup(1) = %v", s)
+	}
+}
+
+func TestScalingModelSaturation(t *testing.T) {
+	// conv5.1-like: small grid. The paper observes "no more than 2×
+	// acceleration from 16 to 64 cores" for conv4.1 and saturation for
+	// conv5.1 beyond 4 cores; the load-balance model reproduces the
+	// regime change.
+	m := ScalingModel{Units: 14 * 14, SerialFrac: 0.02, MemBoundFrac: 0.04}
+	s16 := m.Speedup(16)
+	s64 := m.Speedup(64)
+	if s64/s16 >= 2 {
+		t.Errorf("small-grid speedup grew %vx from 16→64 threads; expected < 2x", s64/s16)
+	}
+	// Large grid keeps scaling (paper: conv2.1 reaches 49.3× on 64
+	// cores, i.e. ~77% parallel efficiency).
+	big := ScalingModel{Units: 112 * 112, SerialFrac: 0.005}
+	if big.Speedup(64) < 40 {
+		t.Errorf("large-grid 64-thread speedup %v; expected near-linear", big.Speedup(64))
+	}
+}
+
+func TestScalingModelMemBound(t *testing.T) {
+	m := ScalingModel{Units: 1 << 20, SerialFrac: 0.01, MemBoundFrac: 0.5}
+	if s := m.Speedup(64); s > 4 {
+		t.Errorf("bandwidth-capped speedup %v; cap should bite near 2x", s)
+	}
+}

@@ -1,0 +1,78 @@
+package bench
+
+import "runtime"
+
+// The paper measures Figs. 8–9 on 4-core and 64-core machines. When this
+// reproduction runs on a host with fewer physical cores, measured thread
+// sweeps flatten at the physical core count, so the harness additionally
+// reports a *modeled* scaling curve and labels it as such. The model is
+// deliberately simple and fully documented here:
+//
+//	speedup(p) = 1 / ( serialFrac + (1-serialFrac) / p_eff )
+//	p_eff      = loadBalance(units, p) · min(p, cores)·…
+//
+// where loadBalance captures the paper's own explanation of why small
+// operators stop scaling: multi-core parallelism splits the fused H·W
+// dimension into contiguous chunks, so with `units` work units and p
+// workers the slowest worker gets ceil(units/p) units and the effective
+// parallelism is units/ceil(units/p). conv5.1 has only 14×14 = 196 output
+// pixels — at 64 threads the chunks are 4 vs. the ideal 3.06, which is
+// exactly the "stops scaling well" regime of Fig. 9.
+
+// LoadBalancedParallelism returns units / ceil(units/p): the effective
+// parallelism of a contiguous-chunk split of `units` work units over p
+// workers.
+func LoadBalancedParallelism(units, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	if units < 1 {
+		return 1
+	}
+	if p > units {
+		p = units
+	}
+	chunk := (units + p - 1) / p
+	return float64(units) / float64(chunk)
+}
+
+// ScalingModel predicts the speedup of p threads over 1 thread for an
+// operator with `units` independent work units and the given serial
+// fraction (binarize/pack stages, chunk dispatch).
+type ScalingModel struct {
+	// Units is the parallel work-unit count (fused OutH·OutW pixels for
+	// conv/pool, K output neurons for dense).
+	Units int
+	// SerialFrac is the non-parallelizable fraction of the operator's
+	// single-thread time. Measured BitFlow operators sit near 0.02–0.05.
+	SerialFrac float64
+	// MemBoundFrac is the fraction of single-thread time spent waiting
+	// on memory that does not speed up once the socket's bandwidth is
+	// saturated; it caps the speedup at 1/MemBoundFrac. Pool operators
+	// (pure data movement) sit high; conv with large C sits moderate.
+	MemBoundFrac float64
+}
+
+// Speedup predicts the acceleration of p threads over 1 thread: an
+// Amdahl term over the load-balanced parallelism, composed roofline-style
+// with the bandwidth-bound fraction (which approaches its 1/MemBoundFrac
+// ceiling smoothly as the compute term shrinks).
+func (m ScalingModel) Speedup(p int) float64 {
+	if p <= 1 {
+		return 1
+	}
+	pEff := LoadBalancedParallelism(m.Units, p)
+	par := 1 - m.SerialFrac
+	s := 1 / (m.SerialFrac + par/pEff)
+	if m.MemBoundFrac > 0 {
+		s = 1 / (m.MemBoundFrac + (1-m.MemBoundFrac)/s)
+	}
+	return s
+}
+
+// PhysicalCores reports the host's usable core count (GOMAXPROCS).
+func PhysicalCores() int { return runtime.GOMAXPROCS(0) }
+
+// HostCanMeasureThreads reports whether a p-thread measurement on this
+// host reflects real parallel hardware.
+func HostCanMeasureThreads(p int) bool { return p <= PhysicalCores() }

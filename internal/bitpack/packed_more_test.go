@@ -1,0 +1,110 @@
+package bitpack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bitflow/internal/workload"
+)
+
+func TestPixelOffsetMarginAddressing(t *testing.T) {
+	p := NewPacked(3, 4, 64, 1, 2, 2)
+	// Interior (0,0) sits margin rows/cols in.
+	if off := p.PixelOffset(0, 0); off != (2*(4+4)+2)*1 {
+		t.Errorf("interior offset %d", off)
+	}
+	// Top-left margin corner is word 0.
+	if off := p.PixelOffset(-2, -2); off != 0 {
+		t.Errorf("margin corner offset %d", off)
+	}
+	// Bottom-right margin pixel is the last word.
+	if off := p.PixelOffset(3+1, 4+1); off != len(p.Words)-1 {
+		t.Errorf("last margin offset %d vs %d", off, len(p.Words)-1)
+	}
+}
+
+func TestRowCoversFullPaddedWidth(t *testing.T) {
+	p := NewPacked(2, 3, 64, 1, 1, 1)
+	row := p.Row(0)
+	if len(row) != (3+2)*1 {
+		t.Errorf("row length %d", len(row))
+	}
+	// Writing through the row slice must land in the buffer.
+	row[0] = 7
+	if p.PixelWords(0, -1)[0] != 7 {
+		t.Error("Row does not alias the left margin pixel")
+	}
+}
+
+// TestPackPixelMatchesPackTensorInto: per-pixel packing is the same
+// transform as whole-tensor packing.
+func TestPackPixelMatchesPackTensorInto(t *testing.T) {
+	f := func(seed uint64, cc uint8) bool {
+		c := int(cc)%130 + 1
+		r := workload.NewRNG(seed)
+		in := workload.RandTensor(r, 2, 3, c)
+		wpp := WordsFor(c) + 1
+		whole := NewPacked(2, 3, c, wpp, 0, 0)
+		PackTensorInto(in, whole)
+		perPixel := NewPacked(2, 3, c, wpp, 0, 0)
+		for h := 0; h < 2; h++ {
+			for w := 0; w < 3; w++ {
+				perPixel.PackPixel(h, w, in.Pixel(h, w))
+			}
+		}
+		for i := range whole.Words {
+			if whole.Words[i] != perPixel.Words[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	a := NewPacked(2, 2, 64, 1, 1, 1)
+	b := NewPacked(2, 2, 64, 1, 1, 1)
+	if !a.SameShape(b) {
+		t.Error("identical shapes reported different")
+	}
+	c := NewPacked(2, 2, 64, 2, 1, 1)
+	if a.SameShape(c) {
+		t.Error("different wpp reported same")
+	}
+}
+
+func TestZeroClearsEverything(t *testing.T) {
+	r := workload.NewRNG(7)
+	p := PackTensor(workload.PM1Tensor(r, 3, 3, 64), 1, 1, 1)
+	p.Zero()
+	for _, w := range p.Words {
+		if w != 0 {
+			t.Fatal("Zero left data")
+		}
+	}
+}
+
+func TestPackPixelPanicsOnWrongLength(t *testing.T) {
+	p := NewPacked(1, 1, 64, 1, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	p.PackPixel(0, 0, make([]float32, 63))
+}
+
+func TestPackTensorIntoPanicsOnMismatch(t *testing.T) {
+	r := workload.NewRNG(8)
+	in := workload.PM1Tensor(r, 2, 2, 64)
+	p := NewPacked(2, 2, 128, 2, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	PackTensorInto(in, p)
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"bitflow/internal/bitpack"
+	"bitflow/internal/kernels"
+	"bitflow/internal/sched"
+	"bitflow/internal/tensor"
+)
+
+// Dense is the binary fully connected operator: a binary matrix-matrix
+// multiplication with M = 1 (paper §III-C). Vector parallelism runs over
+// the N dimension (inside the XOR+popcount kernel), multi-core
+// parallelism over the K dimension.
+type Dense struct {
+	Shape sched.FCShape
+	Plan  sched.Plan // selected over N
+
+	weights *bitpack.PackedMatrix // K rows × Plan.Words, fused transform
+	// act is the folded activation of the packed path; nil = plain sign.
+	act *Thresholds
+	// affine post-processes the float path (ForwardFloat); nil = raw
+	// inner products.
+	affine *Affine
+}
+
+// SetThresholds installs a folded activation (batch-norm or bias) for
+// ForwardPacked. Pass nil to restore the plain sign.
+func (d *Dense) SetThresholds(th *Thresholds) error {
+	if th != nil {
+		if err := th.validate(d.Shape.K); err != nil {
+			return err
+		}
+	}
+	d.act = th
+	return nil
+}
+
+// SetAffine installs a float affine (batch-norm or bias) applied by
+// ForwardFloat — the classifier-layer counterpart of SetThresholds.
+func (d *Dense) SetAffine(a *Affine) error {
+	if a != nil {
+		if err := a.validate(d.Shape.K); err != nil {
+			return err
+		}
+	}
+	d.affine = a
+	return nil
+}
+
+// NewDense builds a binary dense operator from the float weight matrix w
+// (N×K). Binarization, bit-packing and transposition of w are fused into
+// a single pass (paper Table III) and happen once, here.
+func NewDense(shape sched.FCShape, plan sched.Plan, w *tensor.Matrix) (*Dense, error) {
+	if w.Rows != shape.N || w.Cols != shape.K {
+		return nil, fmt.Errorf("core: dense weights %v, want %dx%d", w, shape.N, shape.K)
+	}
+	if plan.C != shape.N {
+		return nil, fmt.Errorf("core: plan built for C=%d, dense has N=%d", plan.C, shape.N)
+	}
+	return NewDensePacked(shape, plan, bitpack.PackMatrixBT(w, plan.Words))
+}
+
+// NewDensePacked builds a binary dense operator from an already-packed
+// (transposed) weight matrix, e.g. one deserialized from a model file.
+func NewDensePacked(shape sched.FCShape, plan sched.Plan, pm *bitpack.PackedMatrix) (*Dense, error) {
+	if pm.K != shape.K || pm.N != shape.N {
+		return nil, fmt.Errorf("core: packed dense weights %v, want K=%d N=%d", pm, shape.K, shape.N)
+	}
+	if plan.C != shape.N {
+		return nil, fmt.Errorf("core: plan built for C=%d, dense has N=%d", plan.C, shape.N)
+	}
+	if pm.WPR != plan.Words {
+		return nil, fmt.Errorf("core: packed dense wpr=%d, plan wants %d", pm.WPR, plan.Words)
+	}
+	return &Dense{Shape: shape, Plan: plan, weights: pm}, nil
+}
+
+// Weights exposes the packed weight matrix (read-only use).
+func (d *Dense) Weights() *bitpack.PackedMatrix { return d.weights }
+
+// Activation returns the folded activation, or nil for the plain sign.
+func (d *Dense) Activation() *Thresholds { return d.act }
+
+// OutAffine returns the float-path affine, or nil for raw products.
+func (d *Dense) OutAffine() *Affine { return d.affine }
+
+// NewInput allocates a packed activation row for this operator.
+func (d *Dense) NewInput() []uint64 { return make([]uint64, d.Plan.Words) }
+
+// Forward computes the K inner products of the packed activation row in
+// (Plan.Words words, N valid bits) into out (len K). threads splits the
+// K dimension.
+func (d *Dense) Forward(in []uint64, out []int32, threads int) {
+	if len(in) != d.Plan.Words {
+		panic(fmt.Sprintf("core: dense input %d words, want %d", len(in), d.Plan.Words))
+	}
+	if len(out) != d.Shape.K {
+		panic(fmt.Sprintf("core: dense output len %d, want K=%d", len(out), d.Shape.K))
+	}
+	opts := kernels.BGemmOpts{Kernel: d.Plan.Kernel}
+	kernels.BGemmParallel(in, 1, d.weights.Words, d.Shape.K, d.Plan.Words, d.Shape.N, out, opts, threads)
+}
+
+// ForwardFloat is Forward plus a float conversion and the optional
+// affine (batch-norm/bias) post-processing — the final classifier path.
+func (d *Dense) ForwardFloat(in []uint64, out []float32, threads int) {
+	tmp := make([]int32, d.Shape.K)
+	d.Forward(in, tmp, threads)
+	if d.affine != nil {
+		d.affine.Apply(tmp, out)
+		return
+	}
+	for i, v := range tmp {
+		out[i] = float32(v)
+	}
+}
+
+// ForwardPacked computes the K inner products and writes their sign bits
+// into out (≥ WordsFor(K) words, trailing lanes cleared) — the fused
+// activation for fc→fc chains (fc6 → sign → fc7).
+func (d *Dense) ForwardPacked(in []uint64, out []uint64, threads int) {
+	tmp := make([]int32, d.Shape.K)
+	d.Forward(in, tmp, threads)
+	if len(out) < bitpack.WordsFor(d.Shape.K) {
+		panic("core: dense packed output too short")
+	}
+	var word uint64
+	wi := 0
+	for k, v := range tmp {
+		on := v >= 0
+		if d.act != nil {
+			on = d.act.bit(k, v)
+		}
+		if on {
+			word |= 1 << uint(k%bitpack.WordBits)
+		}
+		if (k+1)%bitpack.WordBits == 0 {
+			out[wi] = word
+			word = 0
+			wi++
+		}
+	}
+	if d.Shape.K%bitpack.WordBits != 0 {
+		out[wi] = word
+		wi++
+	}
+	for ; wi < len(out); wi++ {
+		out[wi] = 0
+	}
+}

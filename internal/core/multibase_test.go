@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"bitflow/internal/baseline"
+	"bitflow/internal/bitpack"
+	"bitflow/internal/sched"
+	"bitflow/internal/tensor"
+	"bitflow/internal/workload"
+)
+
+func TestFitMultiBaseSingleBaseIsXNORScaling(t *testing.T) {
+	// M = 1 is exactly XNOR-Net's α·sign(W): base = sign, α = mean|W|.
+	r := workload.NewRNG(120)
+	f := workload.RandFilter(r, 3, 3, 3, 8)
+	bases, alphas, err := FitMultiBase(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bases) != 1 || len(alphas) != 1 {
+		t.Fatal("wrong base count")
+	}
+	want := f.Sign()
+	for i := range want.Data {
+		if bases[0].Data[i] != want.Data[i] {
+			t.Fatal("base 1 is not sign(W)")
+		}
+	}
+	perFilter := 3 * 3 * 8
+	for k := 0; k < 3; k++ {
+		var sum float64
+		for i := 0; i < perFilter; i++ {
+			sum += math.Abs(float64(f.Data[k*perFilter+i]))
+		}
+		want := float32(sum / float64(perFilter))
+		if diff := math.Abs(float64(alphas[0][k] - want)); diff > 1e-5 {
+			t.Errorf("alpha[%d] = %v want %v", k, alphas[0][k], want)
+		}
+	}
+}
+
+func TestApproxErrorDecreasesWithBases(t *testing.T) {
+	r := workload.NewRNG(121)
+	f := workload.RandFilter(r, 4, 3, 3, 16)
+	prev := math.Inf(1)
+	for _, m := range []int{1, 2, 3, 5, 8} {
+		bases, alphas, err := FitMultiBase(f, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := ApproxError(f, bases, alphas)
+		if e >= prev {
+			t.Errorf("M=%d: error %.4f did not decrease (prev %.4f)", m, e, prev)
+		}
+		prev = e
+	}
+	if prev > 0.4 {
+		t.Errorf("8-base residual error %.3f still large", prev)
+	}
+}
+
+func TestMultiBaseConvEqualsExplicitCombination(t *testing.T) {
+	// The operator must equal Σ αₘ·bconv(xᵇ, Bₘ) computed explicitly
+	// with independent PressedConv operators.
+	r := workload.NewRNG(122)
+	shape, _ := sched.InferConv(6, 6, 64, 5, 3, 3, 1, 1)
+	plan := sched.Select(64, feat())
+	f := workload.RandFilter(r, 5, 3, 3, 64)
+	const M = 3
+	mc, err := NewMultiBaseConv(shape, plan, f, M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := workload.PM1Tensor(r, 6, 6, 64)
+	packed := mc.NewInput()
+	bitpack.PackTensorInto(in, packed)
+	got := tensor.New(shape.OutH, shape.OutW, shape.OutC)
+	mc.Forward(packed, got, 2)
+
+	bases, alphas, _ := FitMultiBase(f, M)
+	want := tensor.New(shape.OutH, shape.OutW, shape.OutC)
+	for m := 0; m < M; m++ {
+		cv, err := NewConv(shape, plan, bases[m])
+		if err != nil {
+			t.Fatal(err)
+		}
+		part := tensor.New(shape.OutH, shape.OutW, shape.OutC)
+		cv.Forward(packed, part, 1)
+		for i := range want.Data {
+			want.Data[i] += alphas[m][i%shape.OutC] * part.Data[i]
+		}
+	}
+	if d := got.MaxAbsDiff(want); d > 1e-4 {
+		t.Errorf("multibase != explicit combination (max diff %g)", d)
+	}
+}
+
+func TestMultiBaseApproachesFloatConv(t *testing.T) {
+	// With binary inputs, the M-base output must converge toward the
+	// float convolution of the *float* weights as M grows.
+	r := workload.NewRNG(123)
+	shape, _ := sched.InferConv(6, 6, 64, 4, 3, 3, 1, 1)
+	plan := sched.Select(64, feat())
+	f := workload.RandFilter(r, 4, 3, 3, 64)
+	in := workload.PM1Tensor(r, 6, 6, 64)
+	target := baseline.ConvDirect(in, f, 1, 1, -1, 1)
+
+	norm := 0.0
+	for _, v := range target.Data {
+		norm += float64(v) * float64(v)
+	}
+	norm = math.Sqrt(norm)
+
+	prev := math.Inf(1)
+	for _, m := range []int{1, 2, 4, 8} {
+		mc, err := NewMultiBaseConv(shape, plan, f, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packed := mc.NewInput()
+		bitpack.PackTensorInto(in, packed)
+		out := tensor.New(shape.OutH, shape.OutW, shape.OutC)
+		mc.Forward(packed, out, 1)
+		var errSq float64
+		for i := range out.Data {
+			d := float64(out.Data[i] - target.Data[i])
+			errSq += d * d
+		}
+		rel := math.Sqrt(errSq) / norm
+		if rel >= prev {
+			t.Errorf("M=%d: relative error %.4f did not decrease (prev %.4f)", m, rel, prev)
+		}
+		prev = rel
+	}
+	if prev > 0.1 {
+		t.Errorf("8-base conv still %.3f away from the float conv", prev)
+	}
+}
+
+func TestMultiBaseErrors(t *testing.T) {
+	r := workload.NewRNG(124)
+	shape, _ := sched.InferConv(6, 6, 64, 4, 3, 3, 1, 1)
+	plan := sched.Select(64, feat())
+	if _, err := NewMultiBaseConv(shape, plan, workload.RandFilter(r, 4, 3, 3, 32), 2); err == nil {
+		t.Error("mismatched filter: expected error")
+	}
+	if _, err := NewMultiBaseConv(shape, plan, workload.RandFilter(r, 4, 3, 3, 64), 0); err == nil {
+		t.Error("zero bases: expected error")
+	}
+	if _, _, err := FitMultiBase(workload.RandFilter(r, 1, 1, 1, 4), -1); err == nil {
+		t.Error("negative bases: expected error")
+	}
+}
+
+func TestMultiBaseThreadsAgree(t *testing.T) {
+	r := workload.NewRNG(125)
+	shape, _ := sched.InferConv(8, 8, 128, 6, 3, 3, 1, 1)
+	plan := sched.Select(128, feat())
+	mc, err := NewMultiBaseConv(shape, plan, workload.RandFilter(r, 6, 3, 3, 128), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed := mc.NewInput()
+	bitpack.PackTensorInto(workload.PM1Tensor(r, 8, 8, 128), packed)
+	serial := tensor.New(shape.OutH, shape.OutW, shape.OutC)
+	mc.Forward(packed, serial, 1)
+	par := tensor.New(shape.OutH, shape.OutW, shape.OutC)
+	mc.Forward(packed, par, 7)
+	if !serial.Equal(par) {
+		t.Error("threaded multibase differs from serial")
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bitflow/internal/tensor"
+	"bitflow/internal/workload"
+)
+
+func buildMultiBit(t testing.TB, r *workload.RNG, h, w, c, k, bits int, lo, hi float32) (*MultiBitConv, *tensor.Filter) {
+	t.Helper()
+	shape, err := InferTestConv(h, w, c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := testPlan(c)
+	f := workload.RandFilter(r, k, 3, 3, c)
+	mb, err := NewMultiBitConv(shape, plan, f, bits, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mb, f
+}
+
+func TestMultiBitMatchesQuantizedReference(t *testing.T) {
+	r := workload.NewRNG(170)
+	for _, tc := range []struct {
+		c, k, bits int
+		lo, hi     float32
+	}{
+		{64, 4, 2, 0, 1},   // DoReFa's 2-bit [0,1]
+		{64, 4, 1, 0, 1},   // degenerate 1-bit
+		{100, 3, 3, -1, 1}, // signed range, padded channels
+		{128, 5, 4, 0, 2},
+	} {
+		mb, f := buildMultiBit(t, r, 6, 6, tc.c, tc.k, tc.bits, tc.lo, tc.hi)
+		in := workload.RandTensor(r, 6, 6, tc.c)
+		planes := mb.NewPlanes()
+		mb.PackPlanes(in, planes)
+		out := tensor.New(mb.Shape.OutH, mb.Shape.OutW, mb.Shape.OutC)
+		mb.Forward(planes, out, 2)
+		want := mb.Reference(in, f.Sign())
+		if d := out.MaxAbsDiff(want); d > 1e-3 {
+			t.Errorf("%+v: multibit vs reference max diff %g", tc, d)
+		}
+	}
+}
+
+// TestMultiBitQuick: property form over random bit widths and ranges.
+func TestMultiBitQuick(t *testing.T) {
+	f := func(seed uint64, bb, cc uint8) bool {
+		bits := int(bb)%4 + 1
+		c := int(cc)%100 + 1
+		r := workload.NewRNG(seed)
+		shape, err := InferTestConv(5, 5, c, 3)
+		if err != nil {
+			return true
+		}
+		filt := workload.RandFilter(r, 3, 3, 3, c)
+		mb, err := NewMultiBitConv(shape, testPlan(c), filt, bits, -0.5, 1.5)
+		if err != nil {
+			return false
+		}
+		in := workload.RandTensor(r, 5, 5, c)
+		planes := mb.NewPlanes()
+		mb.PackPlanes(in, planes)
+		out := tensor.New(shape.OutH, shape.OutW, shape.OutC)
+		mb.Forward(planes, out, 1)
+		return out.MaxAbsDiff(mb.Reference(in, filt.Sign())) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiBitQuantize(t *testing.T) {
+	r := workload.NewRNG(171)
+	mb, _ := buildMultiBit(t, r, 4, 4, 64, 2, 2, 0, 1)
+	cases := map[float32]int{-5: 0, 0: 0, 0.34: 1, 0.5: 2, 0.67: 2, 1: 3, 7: 3}
+	for v, want := range cases {
+		if got := mb.Quantize(v); got != want {
+			t.Errorf("Quantize(%v) = %d want %d", v, got, want)
+		}
+	}
+}
+
+func TestMultiBitPrecisionImprovesWithBits(t *testing.T) {
+	// Against the *unquantized* float conv, more activation bits must
+	// reduce the error.
+	r := workload.NewRNG(172)
+	shape, _ := InferTestConv(6, 6, 64, 4)
+	filt := workload.RandFilter(r, 4, 3, 3, 64)
+	in := workload.RandTensor(r, 6, 6, 64) // values in [-1, 1)
+	fb := filt.Sign()
+
+	// True reference: direct conv of the raw (unquantized) activations
+	// with the binarized weights, padding with −1 (our lo).
+	trueRef := tensor.New(shape.OutH, shape.OutW, shape.OutC)
+	for y := 0; y < shape.OutH; y++ {
+		for x := 0; x < shape.OutW; x++ {
+			for k := 0; k < 4; k++ {
+				var acc float32
+				for i := 0; i < 3; i++ {
+					for j := 0; j < 3; j++ {
+						sy, sx := y+i-1, x+j-1
+						tap := fb.Tap(k, i, j)
+						if sy < 0 || sy >= 6 || sx < 0 || sx >= 6 {
+							for c := range tap {
+								acc += -1 * tap[c]
+							}
+							continue
+						}
+						px := in.Pixel(sy, sx)
+						for c := range tap {
+							acc += px[c] * tap[c]
+						}
+					}
+				}
+				trueRef.Set(y, x, k, acc)
+			}
+		}
+	}
+
+	prev := math.Inf(1)
+	for _, bits := range []int{1, 2, 4, 6} {
+		mb, err := NewMultiBitConv(shape, testPlan(64), filt, bits, -1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planes := mb.NewPlanes()
+		mb.PackPlanes(in, planes)
+		out := tensor.New(shape.OutH, shape.OutW, shape.OutC)
+		mb.Forward(planes, out, 1)
+		errNow := out.MaxAbsDiff(trueRef)
+		if errNow >= prev {
+			t.Errorf("bits=%d: error %.4f did not decrease (prev %.4f)", bits, errNow, prev)
+		}
+		prev = errNow
+	}
+	// 576 lanes × step/2 ≈ 0.016 accumulate as a random walk: ~0.4
+	// typical, ≈3% of the ~24-magnitude outputs. Anything past 1.5 means
+	// the plane decode is broken rather than just quantization noise.
+	if prev > 1.5 {
+		t.Errorf("6-bit error %.3f beyond quantization noise", prev)
+	}
+}
+
+func TestMultiBitErrors(t *testing.T) {
+	r := workload.NewRNG(173)
+	shape, _ := InferTestConv(4, 4, 64, 2)
+	f := workload.RandFilter(r, 2, 3, 3, 64)
+	if _, err := NewMultiBitConv(shape, testPlan(64), f, 0, 0, 1); err == nil {
+		t.Error("0 bits: expected error")
+	}
+	if _, err := NewMultiBitConv(shape, testPlan(64), f, 9, 0, 1); err == nil {
+		t.Error("9 bits: expected error")
+	}
+	if _, err := NewMultiBitConv(shape, testPlan(64), f, 2, 1, 1); err == nil {
+		t.Error("empty range: expected error")
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"bitflow/internal/bitpack"
+	"bitflow/internal/kernels"
+	"bitflow/internal/sched"
+)
+
+// Pool is a binary max-pooling operator. It adopts the NHWC layout and
+// channel-dimension bit-packing of PressedConv; the reduction replaces
+// XOR/popcount with bitwise OR, "which is used to get the max of a
+// sequence of ones and zeros" (paper §III-C): max over {−1,+1} encoded
+// as {0,1} is exactly the OR of the bits.
+type Pool struct {
+	Shape sched.PoolShape
+	// WPP is the packed word count per pixel shared by input and output
+	// (channel count is unchanged by pooling).
+	WPP int
+}
+
+// NewPool builds a binary max-pool operator operating on wpp-word pixels.
+func NewPool(shape sched.PoolShape, wpp int) (*Pool, error) {
+	if wpp < bitpack.WordsFor(shape.InC) {
+		return nil, fmt.Errorf("core: pool wpp=%d too small for C=%d", wpp, shape.InC)
+	}
+	return &Pool{Shape: shape, WPP: wpp}, nil
+}
+
+// Forward OR-reduces each KH×KW window of in into out. in and out must
+// both have WPP words per pixel; out margins are untouched. threads
+// splits the fused OutH·OutW dimension.
+func (pl *Pool) Forward(in, out *bitpack.Packed, threads int) {
+	s := pl.Shape
+	if in.H != s.InH || in.W != s.InW || in.C != s.InC || in.WPP != pl.WPP {
+		panic(fmt.Sprintf("core: pool input %v, want %dx%dx%d wpp=%d", in, s.InH, s.InW, s.InC, pl.WPP))
+	}
+	if out.H != s.OutH || out.W != s.OutW || out.C != s.OutC || out.WPP != pl.WPP {
+		panic(fmt.Sprintf("core: pool output %v, want %dx%dx%d wpp=%d", out, s.OutH, s.OutW, s.OutC, pl.WPP))
+	}
+	total := s.OutH * s.OutW
+	wpp := pl.WPP
+	rowLen := s.KW * wpp
+	parallelFor(total, threads, func(start, end int) {
+		for idx := start; idx < end; idx++ {
+			y := idx / s.OutW
+			x := idx % s.OutW
+			dst := out.PixelWords(y, x)
+			y0 := y * s.Stride
+			x0 := x * s.Stride
+			// First window row initializes dst, remaining rows OR in;
+			// each row is a contiguous KW*wpp-word segment.
+			off := in.PixelOffset(y0, x0)
+			seg := in.Words[off : off+rowLen]
+			for w := 0; w < wpp; w++ {
+				acc := seg[w]
+				for j := 1; j < s.KW; j++ {
+					acc |= seg[j*wpp+w]
+				}
+				dst[w] = acc
+			}
+			for i := 1; i < s.KH; i++ {
+				off = in.PixelOffset(y0+i, x0)
+				seg = in.Words[off : off+rowLen]
+				for j := 0; j < s.KW; j++ {
+					kernels.OrInto(dst, seg[j*wpp:(j+1)*wpp])
+				}
+			}
+		}
+	})
+}

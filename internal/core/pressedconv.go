@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+
+	"bitflow/internal/bitpack"
+	"bitflow/internal/kernels"
+	"bitflow/internal/sched"
+	"bitflow/internal/tensor"
+)
+
+// maxKH bounds the filter height so per-pixel row slices fit in a fixed
+// stack array (no per-pixel allocation on the hot path).
+const maxKH = 16
+
+// Conv is a PressedConv binary convolution operator: filters are packed
+// once at construction, inputs arrive as channel-packed bit tensors, and
+// every multiply-accumulate is an XOR + popcount at the scheduled vector
+// width.
+type Conv struct {
+	Shape sched.ConvShape
+	Plan  sched.Plan
+
+	filter *bitpack.PackedFilter
+	// rowsKernel accumulates XOR+popcount over all KH row segments of
+	// one filter in a single call.
+	rowsKernel kernels.XorPopRowsFunc
+	// validLanes is KH*KW*C, the true lane count N of Equation 1 for a
+	// full filter application; channel-pad lanes are zero in both
+	// operands and contribute nothing.
+	validLanes int
+	// rowLen is KW*WPP, the contiguous word count of one filter tap row
+	// (and of the matching input row segment).
+	rowLen int
+	// act is the folded activation of the packed path; nil means the
+	// plain Equation 3 sign.
+	act *Thresholds
+}
+
+// SetThresholds installs a folded activation (batch-norm or bias) for
+// ForwardPacked. Pass nil to restore the plain sign.
+func (cv *Conv) SetThresholds(th *Thresholds) error {
+	if th != nil {
+		if err := th.validate(cv.Shape.K); err != nil {
+			return err
+		}
+	}
+	cv.act = th
+	return nil
+}
+
+// NewConv builds a PressedConv operator. The filter bank's K/KH/KW/C must
+// match shape; its weights are binarized (sign) and bit-packed here, once
+// — the paper's network-level "binarization and bit-packing of weights
+// during network initialization".
+func NewConv(shape sched.ConvShape, plan sched.Plan, f *tensor.Filter) (*Conv, error) {
+	if f.K != shape.K || f.KH != shape.KH || f.KW != shape.KW || f.C != shape.InC {
+		return nil, fmt.Errorf("core: filter %v does not match conv shape %+v", f, shape)
+	}
+	if plan.C != shape.InC {
+		return nil, fmt.Errorf("core: plan built for C=%d, conv has InC=%d", plan.C, shape.InC)
+	}
+	return NewConvPacked(shape, plan, bitpack.PackFilter(f, plan.Words))
+}
+
+// NewConvPacked builds a PressedConv operator from an already-packed
+// filter bank (e.g. one deserialized from a model file). The packed
+// filter's geometry and words-per-tap must match the shape and plan.
+func NewConvPacked(shape sched.ConvShape, plan sched.Plan, pf *bitpack.PackedFilter) (*Conv, error) {
+	if pf.K != shape.K || pf.KH != shape.KH || pf.KW != shape.KW || pf.C != shape.InC {
+		return nil, fmt.Errorf("core: packed filter %v does not match conv shape %+v", pf, shape)
+	}
+	if plan.C != shape.InC {
+		return nil, fmt.Errorf("core: plan built for C=%d, conv has InC=%d", plan.C, shape.InC)
+	}
+	if pf.WPP != plan.Words {
+		return nil, fmt.Errorf("core: packed filter wpp=%d, plan wants %d", pf.WPP, plan.Words)
+	}
+	if shape.KH > maxKH {
+		return nil, fmt.Errorf("core: filter height %d exceeds supported maximum %d", shape.KH, maxKH)
+	}
+	if !plan.Width.Divides(shape.KW * plan.Words) {
+		// Cannot happen with plans from sched.Select (width divides
+		// Words), but guard against hand-built plans.
+		return nil, fmt.Errorf("core: width %s does not divide row length %d", plan.Width, shape.KW*plan.Words)
+	}
+	return &Conv{
+		Shape:      shape,
+		Plan:       plan,
+		filter:     pf,
+		rowsKernel: kernels.RowsForWidth(plan.Width),
+		validLanes: shape.KH * shape.KW * shape.InC,
+		rowLen:     shape.KW * plan.Words,
+	}, nil
+}
+
+// Filter exposes the packed filter bank (read-only use).
+func (cv *Conv) Filter() *bitpack.PackedFilter { return cv.filter }
+
+// Activation returns the folded activation, or nil for the plain sign.
+func (cv *Conv) Activation() *Thresholds { return cv.act }
+
+// NewInput allocates a packed input buffer with the margins this operator
+// needs for zero-cost padding: interior InH×InW×InC, margins = Pad.
+func (cv *Conv) NewInput() *bitpack.Packed {
+	return bitpack.NewPacked(cv.Shape.InH, cv.Shape.InW, cv.Shape.InC, cv.Plan.Words, cv.Shape.Pad, cv.Shape.Pad)
+}
+
+// checkInput validates that in is a legal input buffer for this operator.
+func (cv *Conv) checkInput(in *bitpack.Packed) {
+	s := cv.Shape
+	if in.H != s.InH || in.W != s.InW || in.C != s.InC {
+		panic(fmt.Sprintf("core: conv input %v, want %dx%dx%d", in, s.InH, s.InW, s.InC))
+	}
+	if in.WPP != cv.Plan.Words {
+		panic(fmt.Sprintf("core: conv input wpp=%d, plan wants %d", in.WPP, cv.Plan.Words))
+	}
+	if in.MarginH < s.Pad || in.MarginW < s.Pad {
+		panic(fmt.Sprintf("core: conv input margins %dx%d < pad %d", in.MarginH, in.MarginW, s.Pad))
+	}
+}
+
+// Forward computes raw pre-activation outputs into out (OutH×OutW×K).
+// Outputs are exact integer inner products stored as float32. threads
+// controls the multi-core split over the fused OutH·OutW dimension.
+func (cv *Conv) Forward(in *bitpack.Packed, out *tensor.Tensor, threads int) {
+	cv.checkInput(in)
+	s := cv.Shape
+	if out.H != s.OutH || out.W != s.OutW || out.C != s.OutC {
+		panic(fmt.Sprintf("core: conv output %v, want %dx%dx%d", out, s.OutH, s.OutW, s.OutC))
+	}
+	total := s.OutH * s.OutW
+	parallelFor(total, threads, func(start, end int) {
+		for idx := start; idx < end; idx++ {
+			y := idx / s.OutW
+			x := idx % s.OutW
+			cv.pixelInto(in, y, x, out.Pixel(y, x))
+		}
+	})
+}
+
+// ForwardPacked computes outputs with the sign activation fused and
+// bit-packed directly into out's interior (zero-cost padding for the next
+// layer: out's margins stay untouched). out must be OutH×OutW with C = K.
+func (cv *Conv) ForwardPacked(in *bitpack.Packed, out *bitpack.Packed, threads int) {
+	cv.checkInput(in)
+	s := cv.Shape
+	if out.H != s.OutH || out.W != s.OutW || out.C != s.OutC {
+		panic(fmt.Sprintf("core: conv packed output %v, want %dx%dx%d", out, s.OutH, s.OutW, s.OutC))
+	}
+	total := s.OutH * s.OutW
+	parallelFor(total, threads, func(start, end int) {
+		for idx := start; idx < end; idx++ {
+			y := idx / s.OutW
+			x := idx % s.OutW
+			cv.pixelPackedInto(in, y, x, out.PixelWords(y, x))
+		}
+	})
+}
+
+// pixelInto computes the K inner products of output pixel (y, x) into dst.
+func (cv *Conv) pixelInto(in *bitpack.Packed, y, x int, dst []float32) {
+	s := cv.Shape
+	f := cv.rowsKernel
+	n32 := int32(cv.validLanes)
+	rowLen := cv.rowLen
+	y0 := y*s.Stride - s.Pad
+	x0 := x*s.Stride - s.Pad
+	// Hoist the KH input row segments: each is a contiguous run of
+	// KW*WPP words (pixels along a row are adjacent in memory — the
+	// locality-aware layout at work).
+	var inRows [16][]uint64
+	rows := inRows[:s.KH]
+	for i := 0; i < s.KH; i++ {
+		off := in.PixelOffset(y0+i, x0)
+		rows[i] = in.Words[off : off+rowLen : off+rowLen]
+	}
+	fw := cv.filter.Words
+	fstride := s.KH * rowLen // words per filter
+	for k := 0; k < s.K; k++ {
+		base := k * fstride
+		acc := f(rows, fw[base:base+fstride:base+fstride])
+		dst[k] = float32(n32 - 2*int32(acc))
+	}
+}
+
+// pixelPackedInto computes the K inner products of output pixel (y, x)
+// and writes sign bits into the WPP words at dst. Bits beyond K stay 0.
+func (cv *Conv) pixelPackedInto(in *bitpack.Packed, y, x int, dst []uint64) {
+	s := cv.Shape
+	f := cv.rowsKernel
+	n32 := int32(cv.validLanes)
+	rowLen := cv.rowLen
+	y0 := y*s.Stride - s.Pad
+	x0 := x*s.Stride - s.Pad
+	var inRows [16][]uint64
+	rows := inRows[:s.KH]
+	for i := 0; i < s.KH; i++ {
+		off := in.PixelOffset(y0+i, x0)
+		rows[i] = in.Words[off : off+rowLen : off+rowLen]
+	}
+	fw := cv.filter.Words
+	fstride := s.KH * rowLen
+	act := cv.act
+	var word uint64
+	wi := 0
+	for k := 0; k < s.K; k++ {
+		base := k * fstride
+		acc := f(rows, fw[base:base+fstride:base+fstride])
+		d := n32 - 2*int32(acc)
+		on := d >= 0 // sign activation, Equation 3
+		if act != nil {
+			on = act.bit(k, d) // folded batch-norm / bias threshold
+		}
+		if on {
+			word |= 1 << uint(k%bitpack.WordBits)
+		}
+		if (k+1)%bitpack.WordBits == 0 {
+			dst[wi] = word
+			word = 0
+			wi++
+		}
+	}
+	if s.K%bitpack.WordBits != 0 {
+		dst[wi] = word
+		wi++
+	}
+	for ; wi < len(dst); wi++ {
+		dst[wi] = 0
+	}
+}

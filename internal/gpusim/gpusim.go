@@ -1,0 +1,154 @@
+// Package gpusim models the wall-clock time of full-precision DNN
+// operators on a GPU. The paper compares measured BitFlow CPU times
+// against a real GTX 1080 running Keras/TensorFlow 1.2 (Figs. 10–11);
+// no GPU exists in this reproduction environment, so the comparator is a
+// documented analytic model — a roofline with per-operator launch
+// overhead — calibrated against the end-to-end numbers the paper prints
+// (VGG-16 = 12.87 ms, VGG-19 = 14.92 ms). See DESIGN.md §2.
+//
+// The model charges each operator the maximum of its compute time
+// (FLOPs / effective FLOP rate) and its memory time (bytes moved /
+// effective bandwidth), plus a fixed kernel-launch overhead. Convolutions
+// on a 2016-era cuDNN run far from peak; M=1 fully connected layers are
+// purely bandwidth-bound (each weight is read once per inference);
+// pooling is bandwidth-bound on activations.
+package gpusim
+
+import (
+	"time"
+
+	"bitflow/internal/workload"
+)
+
+// Device is an analytic GPU model.
+type Device struct {
+	Name string
+	// PeakFLOPS is the theoretical fp32 throughput.
+	PeakFLOPS float64
+	// ConvEfficiency is the achieved fraction of PeakFLOPS on conv
+	// layers (framework + cuDNN, batch 1).
+	ConvEfficiency float64
+	// MemBandwidth is the theoretical DRAM bandwidth in bytes/s.
+	MemBandwidth float64
+	// MemEfficiency is the achieved fraction of MemBandwidth.
+	MemEfficiency float64
+	// LaunchOverhead is the fixed per-operator cost (kernel launch +
+	// framework dispatch).
+	LaunchOverhead time.Duration
+}
+
+// GTX1080 returns the calibrated model of the paper's comparator.
+// PeakFLOPS and MemBandwidth are the card's public specs (8.873 TFLOPS,
+// 320 GB/s); ConvEfficiency, MemEfficiency and LaunchOverhead are fitted
+// so that VGG-16/19 end-to-end times land on the paper's 12.87/14.92 ms.
+func GTX1080() Device {
+	return Device{
+		Name:           "GTX 1080 (simulated)",
+		PeakFLOPS:      8.873e12,
+		ConvEfficiency: 0.36,
+		MemBandwidth:   320e9,
+		MemEfficiency:  0.75,
+		LaunchOverhead: 40 * time.Microsecond,
+	}
+}
+
+func (d Device) seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// ConvTime models one float convolution: inH×inW×C input, K filters of
+// kh×kw, stride/pad as given.
+func (d Device) ConvTime(inH, inW, c, k, kh, kw, stride, pad int) time.Duration {
+	outH := (inH+2*pad-kh)/stride + 1
+	outW := (inW+2*pad-kw)/stride + 1
+	flops := 2 * float64(outH) * float64(outW) * float64(k) * float64(kh) * float64(kw) * float64(c)
+	bytes := 4 * (float64(inH)*float64(inW)*float64(c) + // input
+		float64(k)*float64(c)*float64(kh)*float64(kw) + // weights
+		float64(outH)*float64(outW)*float64(k)) // output
+	compute := flops / (d.ConvEfficiency * d.PeakFLOPS)
+	memory := bytes / (d.MemEfficiency * d.MemBandwidth)
+	return d.LaunchOverhead + d.seconds(max(compute, memory))
+}
+
+// DenseTime models a batch-1 fully connected layer (N inputs, K outputs):
+// bandwidth-bound on the N×K weight matrix.
+func (d Device) DenseTime(n, k int) time.Duration {
+	flops := 2 * float64(n) * float64(k)
+	bytes := 4 * (float64(n)*float64(k) + float64(n) + float64(k))
+	compute := flops / (d.ConvEfficiency * d.PeakFLOPS)
+	memory := bytes / (d.MemEfficiency * d.MemBandwidth)
+	return d.LaunchOverhead + d.seconds(max(compute, memory))
+}
+
+// PoolTime models a max pool: bandwidth-bound on input + output.
+func (d Device) PoolTime(inH, inW, c, kh, kw, stride int) time.Duration {
+	outH := (inH-kh)/stride + 1
+	outW := (inW-kw)/stride + 1
+	bytes := 4 * (float64(inH)*float64(inW)*float64(c) + float64(outH)*float64(outW)*float64(c))
+	return d.LaunchOverhead + d.seconds(bytes/(d.MemEfficiency*d.MemBandwidth))
+}
+
+// OpTime dispatches on a Table IV operator config.
+func (d Device) OpTime(op workload.OpConfig) time.Duration {
+	switch op.Kind {
+	case workload.OpConv:
+		return d.ConvTime(op.H, op.W, op.C, op.K, op.KH, op.KW, op.Stride, op.Pad)
+	case workload.OpFC:
+		return d.DenseTime(op.N, op.K)
+	case workload.OpPool:
+		return d.PoolTime(op.H, op.W, op.C, op.KH, op.KW, op.Stride)
+	}
+	panic("gpusim: unknown op kind")
+}
+
+// vggLayer describes one layer of the VGG time model.
+type vggLayer struct {
+	kind       workload.OpKind
+	h, w, c, k int
+	n          int
+}
+
+func vggLayers(blocks [][2]int) []vggLayer {
+	var ls []vggLayer
+	h, w, c := 224, 224, 3
+	for _, blk := range blocks {
+		filters, convs := blk[0], blk[1]
+		for i := 0; i < convs; i++ {
+			ls = append(ls, vggLayer{kind: workload.OpConv, h: h, w: w, c: c, k: filters})
+			c = filters
+		}
+		ls = append(ls, vggLayer{kind: workload.OpPool, h: h, w: w, c: c})
+		h, w = h/2, w/2
+	}
+	ls = append(ls,
+		vggLayer{kind: workload.OpFC, n: h * w * c, k: 4096},
+		vggLayer{kind: workload.OpFC, n: 4096, k: 4096},
+		vggLayer{kind: workload.OpFC, n: 4096, k: 1000},
+	)
+	return ls
+}
+
+func (d Device) vggTime(blocks [][2]int) time.Duration {
+	var total time.Duration
+	for _, l := range vggLayers(blocks) {
+		switch l.kind {
+		case workload.OpConv:
+			total += d.ConvTime(l.h, l.w, l.c, l.k, 3, 3, 1, 1)
+		case workload.OpPool:
+			total += d.PoolTime(l.h, l.w, l.c, 2, 2, 2)
+		case workload.OpFC:
+			total += d.DenseTime(l.n, l.k)
+		}
+	}
+	return total
+}
+
+// VGG16Time returns the modeled end-to-end float VGG-16 inference time.
+func (d Device) VGG16Time() time.Duration {
+	return d.vggTime([][2]int{{64, 2}, {128, 2}, {256, 3}, {512, 3}, {512, 3}})
+}
+
+// VGG19Time returns the modeled end-to-end float VGG-19 inference time.
+func (d Device) VGG19Time() time.Duration {
+	return d.vggTime([][2]int{{64, 2}, {128, 2}, {256, 4}, {512, 4}, {512, 4}})
+}

@@ -1,0 +1,82 @@
+package gpusim
+
+import (
+	"testing"
+	"time"
+
+	"bitflow/internal/workload"
+)
+
+func TestCalibrationVGG16(t *testing.T) {
+	// Paper Fig. 11: VGG-16 on GTX 1080 = 12.87 ms. The model must land
+	// within 10%.
+	got := GTX1080().VGG16Time()
+	want := 12.87 * float64(time.Millisecond)
+	if r := float64(got) / want; r < 0.9 || r > 1.1 {
+		t.Errorf("VGG16Time = %v, paper 12.87ms (ratio %.2f)", got, r)
+	}
+}
+
+func TestCalibrationVGG19(t *testing.T) {
+	// Paper Fig. 11: VGG-19 on GTX 1080 = 14.92 ms.
+	got := GTX1080().VGG19Time()
+	want := 14.92 * float64(time.Millisecond)
+	if r := float64(got) / want; r < 0.9 || r > 1.1 {
+		t.Errorf("VGG19Time = %v, paper 14.92ms (ratio %.2f)", got, r)
+	}
+}
+
+func TestVGG19SlowerThanVGG16(t *testing.T) {
+	d := GTX1080()
+	if d.VGG19Time() <= d.VGG16Time() {
+		t.Error("VGG-19 must be slower than VGG-16")
+	}
+}
+
+func TestOpTimeDispatch(t *testing.T) {
+	d := GTX1080()
+	for _, op := range workload.PaperOps() {
+		dt := d.OpTime(op)
+		if dt <= d.LaunchOverhead {
+			t.Errorf("%s: OpTime %v not above launch overhead", op.Name, dt)
+		}
+		if dt > 10*time.Millisecond {
+			t.Errorf("%s: OpTime %v implausibly large", op.Name, dt)
+		}
+	}
+}
+
+func TestOpTimeOrdering(t *testing.T) {
+	// conv2.1 moves the most data/compute of the Table IV convs on a
+	// GPU; pools are far cheaper than convs.
+	d := GTX1080()
+	get := func(name string) time.Duration {
+		op, ok := workload.FindOp(name)
+		if !ok {
+			t.Fatalf("missing op %s", name)
+		}
+		return d.OpTime(op)
+	}
+	if get("pool4") >= get("conv4.1") {
+		t.Error("pool4 should be cheaper than conv4.1 on GPU")
+	}
+	if get("pool5") >= get("conv5.1") {
+		t.Error("pool5 should be cheaper than conv5.1 on GPU")
+	}
+	// fc6 is bandwidth-bound on a 392 MB weight read: the most
+	// expensive single operator of the benchmark set on GPU.
+	for _, name := range []string{"conv3.1", "conv4.1", "conv5.1", "pool4", "pool5", "fc7"} {
+		if get("fc6") <= get(name) {
+			t.Errorf("fc6 should dominate %s on GPU", name)
+		}
+	}
+}
+
+func TestConvTimeMonotonicInWork(t *testing.T) {
+	d := GTX1080()
+	small := d.ConvTime(14, 14, 512, 512, 3, 3, 1, 1)
+	big := d.ConvTime(28, 28, 512, 512, 3, 3, 1, 1)
+	if big <= small {
+		t.Error("4× work must model as strictly slower")
+	}
+}

@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"bitflow/internal/baseline"
+	"bitflow/internal/workload"
+)
+
+func TestFloatConvNetworkMatchesManualPipeline(t *testing.T) {
+	ws := RandomWeights{Seed: 100}
+	net, err := NewBuilder("mixed", 8, 8, 3, feat()).
+		FloatConv("fc1", 64, 3, 3, 1, 1). // mixed-precision first layer
+		Conv3x3("c2", 64).                // binary from here on
+		Pool("p1", 2, 2, 2).
+		Dense("d1", 5).
+		Build(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := workload.RandTensor(workload.NewRNG(101), 8, 8, 3)
+	got := net.Infer(x)
+
+	// Manual replay: float conv on RAW input (zero padding!), sign,
+	// then the binary pipeline.
+	f1, _ := ws.ConvFilter("fc1", 64, 3, 3, 3)
+	a := baseline.ConvDirect(x, f1, 1, 1, 0, 1).Sign()
+	f2, _ := ws.ConvFilter("c2", 64, 3, 3, 64)
+	a = baseline.ConvDirect(a, f2.Sign(), 1, 1, -1, 1).Sign()
+	a = baseline.MaxPoolFloat(a, 2, 2, 2, 1)
+	w1, _ := ws.DenseMatrix("d1", a.Len(), 5)
+	want := make([]float32, 5)
+	baseline.DenseFloat(a.Data, w1.Sign(), want, 1)
+
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("logit %d: graph %v replay %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFloatConvSeesRawInput(t *testing.T) {
+	// A pure-binary network binarizes the input, so scaling it changes
+	// nothing; a mixed-precision first layer *with a bias* must
+	// distinguish inputs that binarize identically (without a bias the
+	// sign is scale-invariant, so the bias is what makes magnitudes
+	// matter).
+	ws := biasedSource{RandomWeights{Seed: 102}}
+	net, err := NewBuilder("mixed", 6, 6, 3, feat()).
+		FloatConv("fc1", 64, 3, 3, 1, 1).
+		Dense("d1", 4).
+		Build(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1 := workload.RandTensor(workload.NewRNG(103), 6, 6, 3)
+	x2 := x1.Clone()
+	for i := range x2.Data {
+		x2.Data[i] *= 0.1 // same signs, different magnitudes
+	}
+	a := net.Infer(x1)
+	b := net.Infer(x2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("mixed-precision first layer did not react to input magnitudes")
+	}
+}
+
+func TestFloatConvMustBeFirst(t *testing.T) {
+	ws := RandomWeights{Seed: 104}
+	if _, err := NewBuilder("e", 8, 8, 64, feat()).
+		Conv3x3("c1", 64).
+		FloatConv("fc", 64, 3, 3, 1, 1).
+		Dense("d", 2).
+		Build(ws); err == nil {
+		t.Error("float conv in the middle: expected error")
+	}
+	if _, err := NewBuilder("e", 8, 8, 3, feat()).
+		FloatConv("fc", 64, 3, 3, 1, 1).
+		Build(ws); err == nil {
+		t.Error("float conv as classifier: expected error")
+	}
+}
+
+func TestFloatConvWithBatchNorm(t *testing.T) {
+	ws := &bnSource{RandomWeights: RandomWeights{Seed: 105}}
+	net, err := NewBuilder("mixed-bn", 6, 6, 3, feat()).
+		FloatConv("fc1", 64, 3, 3, 1, 1).
+		BatchNorm("fc1/bn").
+		Dense("d1", 4).
+		Build(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := workload.RandTensor(workload.NewRNG(106), 6, 6, 3)
+	got := net.Infer(x)
+
+	const eps = 1e-5
+	f1, _ := ws.ConvFilter("fc1", 64, 3, 3, 3)
+	bn, _ := ws.BatchNorm("fc1/bn", 64)
+	raw := baseline.ConvDirect(x, f1, 1, 1, 0, 1)
+	act := raw.Clone()
+	for i := range raw.Data {
+		c := i % 64
+		sigma := math.Sqrt(float64(bn.Variance[c]) + eps)
+		v := float64(bn.Gamma[c])*(float64(raw.Data[i])-float64(bn.Mean[c]))/sigma + float64(bn.Beta[c])
+		if v >= 0 {
+			act.Data[i] = 1
+		} else {
+			act.Data[i] = -1
+		}
+	}
+	w1, _ := ws.DenseMatrix("d1", act.Len(), 4)
+	want := make([]float32, 4)
+	baseline.DenseFloat(act.Data, w1.Sign(), want, 1)
+	mismatches := 0
+	for i := range want {
+		if got[i] != want[i] {
+			mismatches++
+		}
+	}
+	// Float32 vs float64 rounding near the sign boundary can flip an
+	// activation; allow no logit mismatches since BN params are generic.
+	if mismatches != 0 {
+		t.Fatalf("%d logits differ: graph %v replay %v", mismatches, got, want)
+	}
+}
+
+func TestFloatConvSaveLoadRoundtrip(t *testing.T) {
+	ws := &bnSource{RandomWeights: RandomWeights{Seed: 107}}
+	net, err := NewBuilder("mixed-rt", 8, 8, 3, feat()).
+		FloatConv("fc1", 64, 3, 3, 1, 1).
+		BatchNorm("fc1/bn").
+		Conv3x3("c2", 64).
+		Dense("d1", 4).
+		Build(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, feat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := workload.RandTensor(workload.NewRNG(108), 8, 8, 3)
+	want := net.Infer(x)
+	got := loaded.Infer(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("logit %d: loaded %v original %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFloatConvClone(t *testing.T) {
+	ws := RandomWeights{Seed: 109}
+	net, err := NewBuilder("mixed-clone", 8, 8, 3, feat()).
+		FloatConv("fc1", 64, 3, 3, 1, 1).
+		Dense("d1", 3).
+		Build(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := net.Clone()
+	x := workload.RandTensor(workload.NewRNG(110), 8, 8, 3)
+	want := net.Infer(x)
+	got := clone.Infer(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("logit %d differs in clone", i)
+		}
+	}
+}
+
+func TestFloatConvModelSizeAccounting(t *testing.T) {
+	ws := RandomWeights{Seed: 111}
+	net, err := NewBuilder("mixed-size", 8, 8, 3, feat()).
+		FloatConv("fc1", 64, 3, 3, 1, 1).
+		Conv3x3("c2", 64).
+		Dense("d1", 4).
+		Build(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := net.ModelSize()
+	// The float conv stores 64·3·3·3 float32s = 6912 bytes; the binary
+	// layers pack 64× tighter. Compression must sit between 1× and 32×.
+	if c := ms.Compression(); c <= 1 || c >= 32 {
+		t.Errorf("mixed-precision compression %.1f outside (1, 32)", c)
+	}
+}

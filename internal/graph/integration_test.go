@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"testing"
+
+	"bitflow/internal/workload"
+)
+
+// TestDeepChainIntegration runs a deliberately heterogeneous network —
+// mixed-precision stem, BN folds, strided conv, non-square pooling
+// geometry, dense chain — end to end twice and through a save/load +
+// clone cycle, checking global determinism. It is the "everything at
+// once" integration net.
+func TestDeepChainIntegration(t *testing.T) {
+	ws := &bnSource{RandomWeights: RandomWeights{Seed: 200}}
+	net, err := NewBuilder("kitchen-sink", 16, 16, 3, feat()).
+		FloatConv("stem", 64, 3, 3, 1, 1).
+		BatchNorm("stem/bn").
+		Conv3x3("c1", 128).
+		BatchNorm("c1/bn").
+		Conv("c2", 128, 3, 3, 2, 1). // strided binary conv
+		Pool("p1", 2, 2, 2).
+		Conv3x3("c3", 64).
+		Flatten().
+		Dense("d1", 96).
+		BatchNorm("d1/bn").
+		Dense("d2", 7).
+		Build(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Classes != 7 {
+		t.Fatalf("classes %d", net.Classes)
+	}
+	// Shape walk: 16 → stem 16 → c1 16 → c2 (stride 2) 8 → pool 4 → c3 4
+	// → flatten 4·4·64 = 1024.
+	infos := net.Layers()
+	if infos[2].OutDims != "8x8x128" {
+		t.Errorf("strided conv out %s", infos[2].OutDims)
+	}
+	if infos[4].OutDims != "4x4x64" {
+		t.Errorf("c3 out %s", infos[4].OutDims)
+	}
+
+	x := workload.RandTensor(workload.NewRNG(201), 16, 16, 3)
+	first := net.Infer(x)
+	net.Infer(workload.RandTensor(workload.NewRNG(202), 16, 16, 3)) // dirty the buffers
+	second := net.Infer(x)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("non-deterministic logit %d", i)
+		}
+	}
+
+	clone := net.Clone()
+	got := clone.Infer(x)
+	for i := range first {
+		if got[i] != first[i] {
+			t.Fatalf("clone logit %d differs", i)
+		}
+	}
+}
+
+func TestThreadSweepDeterminismAcrossWholeNetwork(t *testing.T) {
+	net, err := TinyVGG(feat(), RandomWeights{Seed: 203})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := workload.RandTensor(workload.NewRNG(204), 32, 32, 3)
+	want := net.Infer(x)
+	for _, threads := range []int{2, 3, 5, 8, 64} {
+		net.Threads = threads
+		got := net.Infer(x)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("threads=%d logit %d differs", threads, i)
+			}
+		}
+	}
+}
+
+func TestActivationBytesMatchAllocation(t *testing.T) {
+	net, err := NewBuilder("alloc", 8, 8, 64, feat()).
+		Conv3x3("c1", 64).
+		Pool("p1", 2, 2, 2).
+		Dense("d1", 3).
+		Build(RandomWeights{Seed: 205})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input edge: (8+2)·(8+2)·1 word; conv out → pool in: 8·8·1; pool
+	// out → flatten: 4·4·1. All in words × 8 bytes.
+	want := int64(10*10+8*8+4*4) * 8
+	if got := net.ActivationBytes(); got != want {
+		t.Errorf("ActivationBytes = %d want %d", got, want)
+	}
+}

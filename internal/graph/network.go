@@ -1,0 +1,248 @@
+package graph
+
+import (
+	"fmt"
+	"time"
+
+	"bitflow/internal/bitpack"
+	"bitflow/internal/core"
+	"bitflow/internal/sched"
+	"bitflow/internal/tensor"
+)
+
+// layer is one executable node of the static graph. Buffers are wired at
+// build time; forward only computes.
+type layer interface {
+	name() string
+	kind() string
+	outDims() string
+	forward(threads int)
+	// weightStats returns (scalar weight count, bytes of weight storage
+	// actually held — packed bits for binary layers, float32 for the
+	// mixed-precision first layer); zero for weightless layers.
+	weightStats() (int64, int64)
+	// parallelUnits is the layer's multi-core work-unit count (fused
+	// OutH·OutW for conv/pool, K for dense) — the granularity the
+	// paper's thread split works at, used by scaling models.
+	parallelUnits() int
+}
+
+// Network is a compiled binary neural network: operators with pre-packed
+// weights plus a pre-allocated buffer chain. Infer is not safe for
+// concurrent use on the same Network (buffers are shared state); clone
+// the network per goroutine instead.
+type Network struct {
+	Name          string
+	InH, InW, InC int
+	Classes       int
+	Feat          sched.Features
+
+	// Threads is the worker count used by Infer; it maps to the paper's
+	// multi-core parallelism over fused H·W (conv/pool) and K (dense).
+	Threads int
+
+	layers []layer
+	input  *bitpack.Packed
+	// inputFloat replaces input when the first layer is a FloatConv
+	// (mixed precision): the network then consumes raw floats.
+	inputFloat *tensor.Tensor
+	output     []float32
+	// arch records the builder specs the network was compiled from, so
+	// Save can serialize the architecture alongside the packed weights.
+	arch []spec
+
+	activationWords int64 // pre-allocated packed activation words
+}
+
+// LayerInfo describes one layer for reporting.
+type LayerInfo struct {
+	Name    string
+	Kind    string
+	OutDims string
+}
+
+// Layers lists the network's layers in execution order.
+func (n *Network) Layers() []LayerInfo {
+	out := make([]LayerInfo, len(n.layers))
+	for i, l := range n.layers {
+		out[i] = LayerInfo{Name: l.name(), Kind: l.kind(), OutDims: l.outDims()}
+	}
+	return out
+}
+
+// Infer runs one forward pass on x (shape must match InH×InW×InC) and
+// returns the Classes logits. The returned slice is freshly allocated.
+func (n *Network) Infer(x *tensor.Tensor) []float32 {
+	n.feedInput(x)
+	for _, l := range n.layers {
+		l.forward(n.Threads)
+	}
+	out := make([]float32, len(n.output))
+	copy(out, n.output)
+	return out
+}
+
+// LayerTiming records one layer's wall-clock contribution to a timed pass.
+type LayerTiming struct {
+	Name     string
+	Kind     string
+	Duration time.Duration
+	// Units is the layer's parallel work-unit count (0 for the serial
+	// input-pack stage).
+	Units int
+}
+
+// InferTimed runs one forward pass and reports per-layer wall-clock times
+// (the input binarize+pack is reported as layer "input").
+func (n *Network) InferTimed(x *tensor.Tensor) ([]float32, []LayerTiming) {
+	timings := make([]LayerTiming, 0, len(n.layers)+1)
+	t0 := time.Now()
+	n.feedInput(x)
+	timings = append(timings, LayerTiming{Name: "input", Kind: "pack", Duration: time.Since(t0)})
+	for _, l := range n.layers {
+		t0 = time.Now()
+		l.forward(n.Threads)
+		timings = append(timings, LayerTiming{
+			Name: l.name(), Kind: l.kind(), Duration: time.Since(t0),
+			Units: l.parallelUnits(),
+		})
+	}
+	out := make([]float32, len(n.output))
+	copy(out, n.output)
+	return out, timings
+}
+
+func (n *Network) feedInput(x *tensor.Tensor) {
+	if x.H != n.InH || x.W != n.InW || x.C != n.InC {
+		panic(fmt.Sprintf("graph: input %v, network expects %dx%dx%d", x, n.InH, n.InW, n.InC))
+	}
+	if n.inputFloat != nil {
+		copy(n.inputFloat.Data, x.Data)
+		return
+	}
+	bitpack.PackTensorInto(x, n.input)
+}
+
+// ModelSize reports the storage cost of the network's weights.
+type ModelSize struct {
+	// Weights is the number of scalar weights.
+	Weights int64
+	// FullPrecisionBytes is Weights × 4 (float32 storage).
+	FullPrecisionBytes int64
+	// BinarizedBytes is the weight storage actually held: bit-packed
+	// words for binary layers plus float32 bytes for any mixed-precision
+	// float layer.
+	BinarizedBytes int64
+}
+
+// Compression returns the full-precision/binarized storage ratio
+// (≈32× for weight-dominated networks — paper Table V).
+func (m ModelSize) Compression() float64 {
+	if m.BinarizedBytes == 0 {
+		return 0
+	}
+	return float64(m.FullPrecisionBytes) / float64(m.BinarizedBytes)
+}
+
+// ModelSize sums weight storage over all layers.
+func (n *Network) ModelSize() ModelSize {
+	var s ModelSize
+	for _, l := range n.layers {
+		w, stored := l.weightStats()
+		s.Weights += w
+		s.FullPrecisionBytes += w * 4
+		s.BinarizedBytes += stored
+	}
+	return s
+}
+
+// ActivationBytes reports the pre-allocated packed activation storage —
+// the memory the static-graph analysis reserved up front.
+func (n *Network) ActivationBytes() int64 { return n.activationWords * 8 }
+
+// ---------------------------------------------------------------------
+// Concrete layers.
+
+type convLayer struct {
+	lname   string
+	op      *core.Conv
+	in, out *bitpack.Packed
+}
+
+func (l *convLayer) name() string { return l.lname }
+func (l *convLayer) kind() string { return "conv" }
+func (l *convLayer) outDims() string {
+	s := l.op.Shape
+	return fmt.Sprintf("%dx%dx%d", s.OutH, s.OutW, s.OutC)
+}
+func (l *convLayer) forward(threads int) { l.op.ForwardPacked(l.in, l.out, threads) }
+func (l *convLayer) parallelUnits() int  { return l.op.Shape.OutH * l.op.Shape.OutW }
+func (l *convLayer) weightStats() (int64, int64) {
+	s := l.op.Shape
+	return int64(s.K) * int64(s.KH) * int64(s.KW) * int64(s.InC), 8 * int64(len(l.op.Filter().Words))
+}
+
+type floatConvLayer struct {
+	lname string
+	op    *core.FloatConv
+	in    *tensor.Tensor // owned copy of the network's float input
+	out   *bitpack.Packed
+}
+
+func (l *floatConvLayer) name() string { return l.lname }
+func (l *floatConvLayer) kind() string { return "floatconv" }
+func (l *floatConvLayer) outDims() string {
+	s := l.op.Shape
+	return fmt.Sprintf("%dx%dx%d", s.OutH, s.OutW, s.OutC)
+}
+func (l *floatConvLayer) forward(threads int) { l.op.Forward(l.in, l.out, threads) }
+func (l *floatConvLayer) parallelUnits() int  { return l.op.Shape.OutH * l.op.Shape.OutW }
+func (l *floatConvLayer) weightStats() (int64, int64) {
+	s := l.op.Shape
+	w := int64(s.K) * int64(s.KH) * int64(s.KW) * int64(s.InC)
+	return w, 4 * w // kept in float32
+}
+
+type poolLayer struct {
+	lname   string
+	op      *core.Pool
+	in, out *bitpack.Packed
+}
+
+func (l *poolLayer) name() string { return l.lname }
+func (l *poolLayer) kind() string { return "pool" }
+func (l *poolLayer) outDims() string {
+	s := l.op.Shape
+	return fmt.Sprintf("%dx%dx%d", s.OutH, s.OutW, s.OutC)
+}
+func (l *poolLayer) forward(threads int)         { l.op.Forward(l.in, l.out, threads) }
+func (l *poolLayer) weightStats() (int64, int64) { return 0, 0 }
+func (l *poolLayer) parallelUnits() int          { return l.op.Shape.OutH * l.op.Shape.OutW }
+
+type denseLayer struct {
+	lname string
+	op    *core.Dense
+	in    []uint64
+
+	// Exactly one of packedOut / floatOut is set: hidden dense layers
+	// fuse the sign activation and write bits; the final classifier
+	// emits float logits.
+	packedOut []uint64
+	floatOut  []float32
+}
+
+func (l *denseLayer) name() string    { return l.lname }
+func (l *denseLayer) kind() string    { return "fc" }
+func (l *denseLayer) outDims() string { return fmt.Sprintf("%d", l.op.Shape.K) }
+func (l *denseLayer) forward(threads int) {
+	if l.floatOut != nil {
+		l.op.ForwardFloat(l.in, l.floatOut, threads)
+		return
+	}
+	l.op.ForwardPacked(l.in, l.packedOut, threads)
+}
+func (l *denseLayer) weightStats() (int64, int64) {
+	s := l.op.Shape
+	return int64(s.N) * int64(s.K), 8 * int64(len(l.op.Weights().Words))
+}
+func (l *denseLayer) parallelUnits() int { return l.op.Shape.K }

@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bitflow/internal/kernels"
+	"bitflow/internal/workload"
+)
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	net, err := TinyVGG(feat(), RandomWeights{Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := net.Save(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("Save reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	loaded, err := Load(&buf, feat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != net.Name || loaded.Classes != net.Classes {
+		t.Errorf("identity: %q/%d vs %q/%d", loaded.Name, loaded.Classes, net.Name, net.Classes)
+	}
+	if len(loaded.Layers()) != len(net.Layers()) {
+		t.Fatalf("layer counts differ")
+	}
+
+	x := workload.RandTensor(workload.NewRNG(31), 32, 32, 3)
+	want := net.Infer(x)
+	got := loaded.Infer(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("logit %d: loaded %v original %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLoadOnNarrowerMachine(t *testing.T) {
+	// A model saved under the AVX-512-class scheduler must load and give
+	// identical results on a scalar-only machine — packed weights are
+	// tier-independent.
+	net, err := TinyVGG(feat(), RandomWeights{Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	narrow := feat().WithMaxWidth(kernels.W64)
+	loaded, err := Load(&buf, narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := workload.RandTensor(workload.NewRNG(33), 32, 32, 3)
+	want := net.Infer(x)
+	got := loaded.Infer(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("logit %d differs across machine widths", i)
+		}
+	}
+}
+
+func TestSaveSizeMatchesModelSize(t *testing.T) {
+	net, err := TinyVGG(feat(), RandomWeights{Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The file is dominated by the packed weights: size must sit within
+	// a few KB of ModelSize().BinarizedBytes.
+	ms := net.ModelSize()
+	overhead := int64(buf.Len()) - ms.BinarizedBytes
+	if overhead < 0 || overhead > 4096 {
+		t.Errorf("file %d bytes vs packed weights %d (overhead %d)", buf.Len(), ms.BinarizedBytes, overhead)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE0000000000000000"),
+		"truncated": append([]byte("BFLW"), 1, 0, 0, 0, 5, 0, 0, 0),
+	}
+	for name, data := range cases {
+		if _, err := Load(bytes.NewReader(data), feat()); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	net, err := TinyVGG(feat(), RandomWeights{Seed: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // bump version field
+	if _, err := Load(bytes.NewReader(data), feat()); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("expected version error, got %v", err)
+	}
+}
+
+func TestLoadRejectsTruncatedWeights(t *testing.T) {
+	net, err := TinyVGG(feat(), RandomWeights{Seed: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-1000]
+	if _, err := Load(bytes.NewReader(data), feat()); err == nil {
+		t.Error("expected error on truncated weights")
+	}
+}
+
+func TestLoadRejectsCorruptSpecKind(t *testing.T) {
+	net, err := TinyVGG(feat(), RandomWeights{Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The first spec's kind byte sits right after the fixed header:
+	// magic(4) + version(4) + name(4+len) + 4×u32.
+	off := 4 + 4 + 4 + len(net.Name) + 16
+	data[off] = 200
+	if _, err := Load(bytes.NewReader(data), feat()); err == nil {
+		t.Error("expected error on corrupt spec kind")
+	}
+}

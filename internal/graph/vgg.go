@@ -1,0 +1,76 @@
+package graph
+
+import "bitflow/internal/sched"
+
+// This file builds the binarized VGG architectures evaluated in the paper
+// (Simonyan & Zisserman's configurations D and E). All convolutions are
+// 3×3/stride 1/pad 1, all pools 2×2/stride 2; fc6/fc7 have 4096 units and
+// the classifier 1000 ("VGG19 and VGG16 have similar architectures,
+// except that VGG19 has 3 more convolution operators").
+
+// VGGInputSize is the spatial input size of the VGG networks.
+const VGGInputSize = 224
+
+// VGGClasses is the classifier width.
+const VGGClasses = 1000
+
+// vggBlocks lists (filters, convs-per-block) for VGG-16 and VGG-19.
+var vggBlocks16 = [][2]int{{64, 2}, {128, 2}, {256, 3}, {512, 3}, {512, 3}}
+var vggBlocks19 = [][2]int{{64, 2}, {128, 2}, {256, 4}, {512, 4}, {512, 4}}
+
+func buildVGG(name string, blocks [][2]int, feat sched.Features, ws WeightSource) (*Network, error) {
+	b := NewBuilder(name, VGGInputSize, VGGInputSize, 3, feat)
+	for bi, blk := range blocks {
+		filters, convs := blk[0], blk[1]
+		for ci := 0; ci < convs; ci++ {
+			b.Conv3x3(convName(bi+1, ci+1), filters)
+		}
+		b.Pool(poolName(bi+1), 2, 2, 2)
+	}
+	b.Flatten()
+	b.Dense("fc6", 4096)
+	b.Dense("fc7", 4096)
+	b.Dense("fc8", VGGClasses)
+	return b.Build(ws)
+}
+
+func convName(block, idx int) string {
+	return "conv" + itoa(block) + "." + itoa(idx)
+}
+
+func poolName(block int) string { return "pool" + itoa(block) }
+
+// itoa avoids strconv for the tiny digits used here.
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + itoa(n%10)
+}
+
+// VGG16 builds binarized VGG-16 (13 conv + 3 fc).
+func VGG16(feat sched.Features, ws WeightSource) (*Network, error) {
+	return buildVGG("VGG16", vggBlocks16, feat, ws)
+}
+
+// VGG19 builds binarized VGG-19 (16 conv + 3 fc).
+func VGG19(feat sched.Features, ws WeightSource) (*Network, error) {
+	return buildVGG("VGG19", vggBlocks19, feat, ws)
+}
+
+// TinyVGG builds a scaled-down VGG-shaped network (32×32 input, two
+// blocks, small dense head) for tests and the quickstart example: same
+// structural elements — conv/pool blocks, flatten, dense chain — at a
+// fraction of the compute.
+func TinyVGG(feat sched.Features, ws WeightSource) (*Network, error) {
+	return NewBuilder("TinyVGG", 32, 32, 3, feat).
+		Conv3x3("conv1.1", 64).
+		Conv3x3("conv1.2", 64).
+		Pool("pool1", 2, 2, 2).
+		Conv3x3("conv2.1", 128).
+		Pool("pool2", 2, 2, 2).
+		Flatten().
+		Dense("fc1", 256).
+		Dense("fc2", 10).
+		Build(ws)
+}

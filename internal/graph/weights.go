@@ -1,0 +1,99 @@
+// Package graph implements BitFlow's network level (paper §IV): a static
+// computation graph of binary operators with all weights binarized and
+// bit-packed once at initialization and all activation/intermediate
+// buffers pre-allocated before the first inference ("we pre-allocate all
+// the memory needed for storing the output and intermediate results by
+// analysis of the neural network as a static computational graph").
+package graph
+
+import (
+	"hash/fnv"
+
+	"bitflow/internal/tensor"
+	"bitflow/internal/workload"
+)
+
+// WeightSource supplies float32 weights for each named layer. The graph
+// binarizes and bit-packs them immediately; the float originals are not
+// retained.
+type WeightSource interface {
+	// ConvFilter returns the float weights for a convolution layer.
+	ConvFilter(name string, k, kh, kw, c int) (*tensor.Filter, error)
+	// DenseMatrix returns the float weights (N×K) for a dense layer.
+	DenseMatrix(name string, n, k int) (*tensor.Matrix, error)
+}
+
+// BNParams holds batch-norm inference parameters for one layer.
+type BNParams struct {
+	Gamma, Beta, Mean, Variance []float32
+	// Eps is the numerical-stability epsilon; 0 selects 1e-5.
+	Eps float64
+}
+
+// BatchNormSource is an optional WeightSource extension supplying
+// batch-norm parameters for layers followed by a Builder.BatchNorm spec.
+// The graph folds them into integer thresholds (hidden layers) or a
+// float affine (the classifier layer) at build time — no batch-norm
+// arithmetic survives into inference.
+type BatchNormSource interface {
+	BatchNorm(name string, channels int) (BNParams, error)
+}
+
+// BiasSource is an optional WeightSource extension supplying per-channel
+// biases. When implemented, every conv/dense layer's bias folds into its
+// sign thresholds (hidden layers) or output affine (classifier). A nil
+// bias slice means "no bias for this layer".
+type BiasSource interface {
+	ConvBias(name string, k int) ([]float32, error)
+	DenseBias(name string, k int) ([]float32, error)
+}
+
+// RandomWeights is a deterministic WeightSource: layer weights are drawn
+// from a SplitMix64 stream seeded by Seed and the layer name, so the same
+// (seed, architecture) pair always builds the identical network. Used by
+// the benchmark harness — the paper's evaluation measures operator and
+// network speed, which is independent of the trained weight values.
+type RandomWeights struct {
+	Seed uint64
+}
+
+func (rw RandomWeights) rng(name string) *workload.RNG {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return workload.NewRNG(rw.Seed ^ h.Sum64())
+}
+
+// ConvFilter returns deterministic pseudo-random filter weights in [-1, 1).
+func (rw RandomWeights) ConvFilter(name string, k, kh, kw, c int) (*tensor.Filter, error) {
+	return workload.RandFilter(rw.rng(name), k, kh, kw, c), nil
+}
+
+// DenseMatrix returns deterministic pseudo-random weights in [-1, 1).
+func (rw RandomWeights) DenseMatrix(name string, n, k int) (*tensor.Matrix, error) {
+	return workload.RandMatrix(rw.rng(name), n, k), nil
+}
+
+// BatchNorm returns deterministic pseudo-random batch-norm parameters
+// with γ ∈ ±(0.5, 1.5) (both signs, exercising flipped thresholds),
+// small β, and unit-scale statistics. RandomWeights therefore satisfies
+// BatchNormSource for benchmarking BN-folded networks.
+func (rw RandomWeights) BatchNorm(name string, channels int) (BNParams, error) {
+	r := rw.rng(name + "/bn")
+	p := BNParams{
+		Gamma:    make([]float32, channels),
+		Beta:     make([]float32, channels),
+		Mean:     make([]float32, channels),
+		Variance: make([]float32, channels),
+	}
+	for c := 0; c < channels; c++ {
+		g := 0.5 + r.Float32()
+		if r.Uint64()&7 == 0 { // occasional negative γ
+			g = -g
+		}
+		p.Gamma[c] = g
+		p.Beta[c] = 2*r.Float32() - 1
+		p.Mean[c] = 4 * (2*r.Float32() - 1)
+		p.Variance[c] = 0.5 + 2*r.Float32()
+	}
+	return p, nil
+}

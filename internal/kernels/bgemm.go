@@ -1,0 +1,122 @@
+package kernels
+
+import "fmt"
+
+// This file implements bgemm, BitFlow's binary GEMM (paper gemm level,
+// §IV): C = A × Bᵀ where A is M×N bits (M packed rows of wpr words) and B
+// was pre-transformed by bitpack.PackMatrixBT into K packed rows of wpr
+// words. Output C is M×K int32 inner products.
+//
+// Optimizations mirror the paper's sgemm-derived techniques:
+//   - B is packed transposed, so both inner operands stream linearly;
+//   - register blocking: 4 output columns share one pass over the A row
+//     (loop unrolling over K);
+//   - K-tiling keeps the active slab of B rows inside the L2 cache for
+//     large N (fc6: N = 25088 → wpr = 392 words = 3.1 KiB per row).
+
+// BGemmOpts tunes the blocked bgemm. Zero values select defaults.
+type BGemmOpts struct {
+	// Kernel is the XOR+popcount kernel; nil selects XorPop64.
+	Kernel XorPopFunc
+	// KTile is the number of B rows per tile; 0 selects 64.
+	KTile int
+}
+
+func (o *BGemmOpts) fill() {
+	if o.Kernel == nil {
+		o.Kernel = XorPop64
+	}
+	if o.KTile <= 0 {
+		o.KTile = 64
+	}
+}
+
+// BGemm multiplies M packed rows a (each wpr words, n valid bits) by the
+// K packed rows bT (same wpr/n), writing M×K inner products into out
+// (row-major, len M*K).
+func BGemm(a []uint64, m int, bT []uint64, k int, wpr, n int, out []int32, opts BGemmOpts) {
+	opts.fill()
+	if len(a) != m*wpr {
+		panic(fmt.Sprintf("kernels: BGemm len(a)=%d want %d", len(a), m*wpr))
+	}
+	if len(bT) != k*wpr {
+		panic(fmt.Sprintf("kernels: BGemm len(bT)=%d want %d", len(bT), k*wpr))
+	}
+	if len(out) != m*k {
+		panic(fmt.Sprintf("kernels: BGemm len(out)=%d want %d", len(out), m*k))
+	}
+	f := opts.Kernel
+	n32 := int32(n)
+	for kt := 0; kt < k; kt += opts.KTile {
+		kEnd := min(kt+opts.KTile, k)
+		for mi := 0; mi < m; mi++ {
+			arow := a[mi*wpr : (mi+1)*wpr]
+			orow := out[mi*k : (mi+1)*k]
+			ki := kt
+			// Register blocking: 4 output neurons per pass over arow.
+			for ; ki+4 <= kEnd; ki += 4 {
+				b0 := bT[ki*wpr : (ki+1)*wpr]
+				b1 := bT[(ki+1)*wpr : (ki+2)*wpr]
+				b2 := bT[(ki+2)*wpr : (ki+3)*wpr]
+				b3 := bT[(ki+3)*wpr : (ki+4)*wpr]
+				orow[ki] = n32 - 2*int32(f(arow, b0))
+				orow[ki+1] = n32 - 2*int32(f(arow, b1))
+				orow[ki+2] = n32 - 2*int32(f(arow, b2))
+				orow[ki+3] = n32 - 2*int32(f(arow, b3))
+			}
+			for ; ki < kEnd; ki++ {
+				brow := bT[ki*wpr : (ki+1)*wpr]
+				orow[ki] = n32 - 2*int32(f(arow, brow))
+			}
+		}
+	}
+}
+
+// BGemmParallel runs BGemm with the K dimension split across `threads`
+// goroutines — the paper's multi-core split for the fully connected
+// operator ("multi-core parallelism over the K dimension", §III-C).
+// threads <= 1 degrades to the serial path.
+func BGemmParallel(a []uint64, m int, bT []uint64, k int, wpr, n int, out []int32, opts BGemmOpts, threads int) {
+	if threads <= 1 || k < 2*threads {
+		BGemm(a, m, bT, k, wpr, n, out, opts)
+		return
+	}
+	opts.fill()
+	done := make(chan struct{}, threads)
+	chunk := (k + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		k0 := t * chunk
+		k1 := min(k0+chunk, k)
+		if k0 >= k1 {
+			done <- struct{}{}
+			continue
+		}
+		go func(k0, k1 int) {
+			defer func() { done <- struct{}{} }()
+			bgemmCols(a, m, bT, k, wpr, n, out, opts, k0, k1)
+		}(k0, k1)
+	}
+	for t := 0; t < threads; t++ {
+		<-done
+	}
+}
+
+// bgemmCols computes output columns [k0, k1) only.
+func bgemmCols(a []uint64, m int, bT []uint64, k, wpr, n int, out []int32, opts BGemmOpts, k0, k1 int) {
+	f := opts.Kernel
+	n32 := int32(n)
+	for mi := 0; mi < m; mi++ {
+		arow := a[mi*wpr : (mi+1)*wpr]
+		orow := out[mi*k : (mi+1)*k]
+		ki := k0
+		for ; ki+4 <= k1; ki += 4 {
+			orow[ki] = n32 - 2*int32(f(arow, bT[ki*wpr:(ki+1)*wpr]))
+			orow[ki+1] = n32 - 2*int32(f(arow, bT[(ki+1)*wpr:(ki+2)*wpr]))
+			orow[ki+2] = n32 - 2*int32(f(arow, bT[(ki+2)*wpr:(ki+3)*wpr]))
+			orow[ki+3] = n32 - 2*int32(f(arow, bT[(ki+3)*wpr:(ki+4)*wpr]))
+		}
+		for ; ki < k1; ki++ {
+			orow[ki] = n32 - 2*int32(f(arow, bT[ki*wpr:(ki+1)*wpr]))
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package kernels
+
+// Dot computes the binary inner product of two packed vectors using the
+// given XOR+popcount kernel: dot = validLanes − 2·Σ popcount(a XOR b)
+// (Equation 1). Lanes beyond validLanes must be zero in *both* operands;
+// they then XOR to zero and the formula stays exact.
+func Dot(f XorPopFunc, a, b []uint64, validLanes int) int32 {
+	return int32(validLanes) - 2*int32(f(a, b))
+}
+
+// DotRef is the O(bits) reference implementation used by tests: it walks
+// lanes one bit at a time and accumulates ±1 products.
+func DotRef(a, b []uint64, validLanes int) int32 {
+	var acc int32
+	for lane := 0; lane < validLanes; lane++ {
+		av := a[lane/64] >> (uint(lane) % 64) & 1
+		bv := b[lane/64] >> (uint(lane) % 64) & 1
+		if av == bv {
+			acc++
+		} else {
+			acc--
+		}
+	}
+	return acc
+}

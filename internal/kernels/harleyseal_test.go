@@ -1,0 +1,87 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bitflow/internal/workload"
+)
+
+func TestHarleySealMatchesReference(t *testing.T) {
+	r := workload.NewRNG(190)
+	for _, n := range []int{0, 1, 15, 16, 17, 31, 32, 33, 64, 100, 392, 1000} {
+		if n == 0 {
+			if got := XorPopHarleySeal(nil, nil); got != 0 {
+				t.Errorf("empty: got %d", got)
+			}
+			continue
+		}
+		a := randWords(r, n)
+		b := randWords(r, n)
+		if got, want := XorPopHarleySeal(a, b), refXorPop(a, b); got != want {
+			t.Errorf("n=%d: got %d want %d", n, got, want)
+		}
+	}
+}
+
+func TestHarleySealQuick(t *testing.T) {
+	f := func(seed uint64, nn uint8) bool {
+		n := int(nn) + 1
+		r := workload.NewRNG(seed)
+		a := randWords(r, n)
+		b := randWords(r, n)
+		return XorPopHarleySeal(a, b) == refXorPop(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHarleySealExtremes(t *testing.T) {
+	n := 48
+	a := make([]uint64, n)
+	b := make([]uint64, n)
+	if XorPopHarleySeal(a, b) != 0 {
+		t.Error("all-zero should count 0")
+	}
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	if got := XorPopHarleySeal(a, b); got != n*64 {
+		t.Errorf("all-ones: got %d want %d", got, n*64)
+	}
+}
+
+func TestCSA(t *testing.T) {
+	// Per bit: sum+2·carry == x+y+z for all 8 combinations.
+	for x := uint64(0); x <= 1; x++ {
+		for y := uint64(0); y <= 1; y++ {
+			for z := uint64(0); z <= 1; z++ {
+				s, c := csa(x, y, z)
+				if s+2*c != x+y+z {
+					t.Errorf("csa(%d,%d,%d) = (%d,%d)", x, y, z, s, c)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkXorPopUnrolled512(b *testing.B) {
+	r := workload.NewRNG(191)
+	x := randWords(r, 392) // fc6-sized stream
+	y := randWords(r, 392)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XorPop512(x, y)
+	}
+}
+
+func BenchmarkXorPopHarleySeal(b *testing.B) {
+	r := workload.NewRNG(191)
+	x := randWords(r, 392)
+	y := randWords(r, 392)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XorPopHarleySeal(x, y)
+	}
+}

@@ -1,0 +1,63 @@
+// Package kernels provides BitFlow's XOR + popcount microkernels and the
+// binary GEMM built on them (paper gemm level, §IV; SIMD instruction
+// table, paper Table I).
+//
+// The paper's kernels use x86 vector intrinsics (_mm_xor_si128,
+// _mm256_xor_si256, _mm512_xor_si512, _mm512_popcnt_epi64). Go has no
+// intrinsics, so each vector width is reproduced as an unrolled
+// multi-word kernel: the W128 kernel XORs and popcounts 2×64-bit words
+// per loop step, W256 4 words, W512 8 words. math/bits.OnesCount64
+// compiles to the hardware POPCNT instruction on amd64, so the popcount
+// half of the paper's instruction mix is the real hardware instruction;
+// only the XOR width is emulated by unrolling. The performance *mechanism*
+// — amortizing loop overhead and exposing instruction-level parallelism
+// over more channel bits per iteration — is the same one the paper's
+// wider vector units exploit (see DESIGN.md §2).
+package kernels
+
+import "fmt"
+
+// Width identifies a simulated vector width as the number of 64-bit words
+// processed per kernel step.
+type Width int
+
+const (
+	// W64 is the scalar kernel: one uint64 per step ("intrinsic bitwise
+	// instruction" tier of the scheduler rules, paper §III-B rule 4).
+	W64 Width = 1
+	// W128 processes 2 words per step (SSE tier).
+	W128 Width = 2
+	// W256 processes 4 words per step (AVX2 tier).
+	W256 Width = 4
+	// W512 processes 8 words per step (AVX-512 tier).
+	W512 Width = 8
+)
+
+// Widths lists all kernel widths from widest to narrowest, the order in
+// which the scheduler considers them.
+var Widths = []Width{W512, W256, W128, W64}
+
+// Bits returns the simulated vector width in bits.
+func (w Width) Bits() int { return int(w) * 64 }
+
+// Words returns the number of 64-bit words per kernel step.
+func (w Width) Words() int { return int(w) }
+
+// String names the width after the instruction set it simulates.
+func (w Width) String() string {
+	switch w {
+	case W64:
+		return "scalar64"
+	case W128:
+		return "sse128"
+	case W256:
+		return "avx256"
+	case W512:
+		return "avx512"
+	}
+	return fmt.Sprintf("Width(%d)", int(w))
+}
+
+// Divides reports whether a buffer of n words can be processed by this
+// width without a tail.
+func (w Width) Divides(n int) bool { return n%int(w) == 0 }

@@ -1,0 +1,117 @@
+package kernels
+
+import "math/bits"
+
+// XorPopFunc is the signature of an XOR+popcount kernel: it returns
+// Σᵢ popcount(a[i] XOR b[i]) over two equal-length word slices.
+// Equation 1 turns this into a binary inner product:
+// dot = N − 2·XorPopFunc(a, b), with N the number of valid lanes.
+type XorPopFunc func(a, b []uint64) int
+
+// XorPop64 is the scalar kernel: one word per step. It accepts any
+// length and is the fallback for buffers no wider kernel divides.
+func XorPop64(a, b []uint64) int {
+	_ = b[len(a)-1] // bounds-check hint
+	acc := 0
+	for i, av := range a {
+		acc += bits.OnesCount64(av ^ b[i])
+	}
+	return acc
+}
+
+// XorPop128 processes 2 words per step (SSE tier). len(a) must be a
+// multiple of 2.
+func XorPop128(a, b []uint64) int {
+	_ = b[len(a)-1]
+	var acc0, acc1 int
+	for i := 0; i < len(a); i += 2 {
+		acc0 += bits.OnesCount64(a[i] ^ b[i])
+		acc1 += bits.OnesCount64(a[i+1] ^ b[i+1])
+	}
+	return acc0 + acc1
+}
+
+// XorPop256 processes 4 words per step (AVX2 tier). len(a) must be a
+// multiple of 4. The four independent accumulators let the CPU overlap
+// the popcounts, the ILP analogue of a 256-bit lane.
+func XorPop256(a, b []uint64) int {
+	_ = b[len(a)-1]
+	var acc0, acc1, acc2, acc3 int
+	for i := 0; i < len(a); i += 4 {
+		acc0 += bits.OnesCount64(a[i] ^ b[i])
+		acc1 += bits.OnesCount64(a[i+1] ^ b[i+1])
+		acc2 += bits.OnesCount64(a[i+2] ^ b[i+2])
+		acc3 += bits.OnesCount64(a[i+3] ^ b[i+3])
+	}
+	return (acc0 + acc1) + (acc2 + acc3)
+}
+
+// XorPop512 processes 8 words per step (AVX-512 tier). len(a) must be a
+// multiple of 8.
+func XorPop512(a, b []uint64) int {
+	_ = b[len(a)-1]
+	var acc0, acc1, acc2, acc3 int
+	for i := 0; i < len(a); i += 8 {
+		acc0 += bits.OnesCount64(a[i]^b[i]) + bits.OnesCount64(a[i+4]^b[i+4])
+		acc1 += bits.OnesCount64(a[i+1]^b[i+1]) + bits.OnesCount64(a[i+5]^b[i+5])
+		acc2 += bits.OnesCount64(a[i+2]^b[i+2]) + bits.OnesCount64(a[i+6]^b[i+6])
+		acc3 += bits.OnesCount64(a[i+3]^b[i+3]) + bits.OnesCount64(a[i+7]^b[i+7])
+	}
+	return (acc0 + acc1) + (acc2 + acc3)
+}
+
+// ForWidth returns the kernel implementing the given width.
+func ForWidth(w Width) XorPopFunc {
+	switch w {
+	case W64:
+		return XorPop64
+	case W128:
+		return XorPop128
+	case W256:
+		return XorPop256
+	case W512:
+		return XorPop512
+	}
+	panic("kernels: unknown width")
+}
+
+// XorPopMasked is the analogue of _mm512_maskz_xor_epi64 +
+// _mm512_maskz_popcnt_epi64 (paper Table I): only words whose bit is set
+// in the 64-bit zeromask contribute. Used by tail handling when a shape
+// cannot be padded.
+func XorPopMasked(mask uint64, a, b []uint64) int {
+	acc := 0
+	for i := range a {
+		if mask>>uint(i)&1 == 1 {
+			acc += bits.OnesCount64(a[i] ^ b[i])
+		}
+	}
+	return acc
+}
+
+// OrInto computes dst[i] |= src[i]; binary max-pooling reduces windows
+// with bitwise OR ("which is used to get the max of a sequence of ones
+// and zeros", paper §III-C). Unrolled by 4 to match the vector tiers.
+func OrInto(dst, src []uint64) {
+	n := len(dst)
+	_ = src[n-1]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] |= src[i]
+		dst[i+1] |= src[i+1]
+		dst[i+2] |= src[i+2]
+		dst[i+3] |= src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] |= src[i]
+	}
+}
+
+// Popcount returns Σ popcount(a[i]).
+func Popcount(a []uint64) int {
+	acc := 0
+	for _, v := range a {
+		acc += bits.OnesCount64(v)
+	}
+	return acc
+}

@@ -1,0 +1,92 @@
+package kernels
+
+import "math/bits"
+
+// XorPopRowsFunc accumulates XOR+popcount over several row segments
+// against a contiguous filter block: result = Σᵢ Σⱼ popcount(rows[i][j]
+// XOR filt[i·len(rows[i])+j]). PressedConv calls one of these once per
+// (output pixel, filter) pair — the row loop lives inside the kernel so
+// short segments (e.g. 3 words for C=64) do not pay an indirect call per
+// filter row.
+type XorPopRowsFunc func(rows [][]uint64, filt []uint64) int
+
+// XorPopRows64 is the scalar row-batched kernel (any segment length).
+func XorPopRows64(rows [][]uint64, filt []uint64) int {
+	acc := 0
+	off := 0
+	for _, r := range rows {
+		f := filt[off : off+len(r)]
+		for i, v := range r {
+			acc += bits.OnesCount64(v ^ f[i])
+		}
+		off += len(r)
+	}
+	return acc
+}
+
+// XorPopRows128 processes 2 words per step; segment lengths must be
+// multiples of 2.
+func XorPopRows128(rows [][]uint64, filt []uint64) int {
+	var acc0, acc1 int
+	off := 0
+	for _, r := range rows {
+		f := filt[off : off+len(r)]
+		for i := 0; i < len(r); i += 2 {
+			acc0 += bits.OnesCount64(r[i] ^ f[i])
+			acc1 += bits.OnesCount64(r[i+1] ^ f[i+1])
+		}
+		off += len(r)
+	}
+	return acc0 + acc1
+}
+
+// XorPopRows256 processes 4 words per step; segment lengths must be
+// multiples of 4.
+func XorPopRows256(rows [][]uint64, filt []uint64) int {
+	var acc0, acc1, acc2, acc3 int
+	off := 0
+	for _, r := range rows {
+		f := filt[off : off+len(r)]
+		for i := 0; i < len(r); i += 4 {
+			acc0 += bits.OnesCount64(r[i] ^ f[i])
+			acc1 += bits.OnesCount64(r[i+1] ^ f[i+1])
+			acc2 += bits.OnesCount64(r[i+2] ^ f[i+2])
+			acc3 += bits.OnesCount64(r[i+3] ^ f[i+3])
+		}
+		off += len(r)
+	}
+	return (acc0 + acc1) + (acc2 + acc3)
+}
+
+// XorPopRows512 processes 8 words per step; segment lengths must be
+// multiples of 8.
+func XorPopRows512(rows [][]uint64, filt []uint64) int {
+	var acc0, acc1, acc2, acc3 int
+	off := 0
+	for _, r := range rows {
+		f := filt[off : off+len(r)]
+		for i := 0; i < len(r); i += 8 {
+			acc0 += bits.OnesCount64(r[i]^f[i]) + bits.OnesCount64(r[i+4]^f[i+4])
+			acc1 += bits.OnesCount64(r[i+1]^f[i+1]) + bits.OnesCount64(r[i+5]^f[i+5])
+			acc2 += bits.OnesCount64(r[i+2]^f[i+2]) + bits.OnesCount64(r[i+6]^f[i+6])
+			acc3 += bits.OnesCount64(r[i+3]^f[i+3]) + bits.OnesCount64(r[i+7]^f[i+7])
+		}
+		off += len(r)
+	}
+	return (acc0 + acc1) + (acc2 + acc3)
+}
+
+// RowsForWidth returns the row-batched kernel for the given width.
+func RowsForWidth(w Width) XorPopRowsFunc {
+	switch w {
+	case W64:
+		return XorPopRows64
+	case W128:
+		return XorPopRows128
+	case W256:
+		return XorPopRows256
+	case W512:
+		return XorPopRows512
+	}
+	panic("kernels: unknown width")
+}

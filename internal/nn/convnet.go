@@ -1,0 +1,275 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"bitflow/internal/tensor"
+	"bitflow/internal/workload"
+)
+
+// ConvNet is a small trainable convolutional classifier: conv(3×3,
+// stride 1, pad 1) blocks with optional 2×2/2 max-pooling, then a dense
+// head. Like MLP it trains either in full precision (tanh activations)
+// or fully binarized (sign weights/activations forward, straight-through
+// estimator backward, BinaryConnect weight clipping) — the architecture
+// family the paper's VGG benchmarks come from, at laptop scale.
+//
+// In binarized mode spatial padding uses value −1, matching the engine's
+// bit-level zero padding, so a trained network exports bit-exactly
+// (ExportConvNet).
+type ConvNet struct {
+	Binarize bool
+	// BinarizeInput applies sign() to the input image (required for
+	// export: the engine's binary conv consumes bits).
+	BinarizeInput bool
+
+	InH, InW, InC int
+
+	convs []convBlock
+	dense []mlpLayer
+}
+
+// convBlock is one conv(+pool) stage. Weights are latent floats.
+type convBlock struct {
+	w    *tensor.Filter // K×3×3×C
+	b    []float32
+	pool bool // 2×2/2 max pool after the activation
+}
+
+// ConvSpec describes one conv block for NewConvNet.
+type ConvSpec struct {
+	Filters int
+	Pool    bool
+}
+
+// NewConvNet builds a network: each ConvSpec is a 3×3/1/1 convolution
+// (plus optional pool), then hidden dense sizes, then `classes` outputs.
+func NewConvNet(r *workload.RNG, inH, inW, inC int, convs []ConvSpec, hidden []int, classes int, binarize bool) *ConvNet {
+	n := &ConvNet{Binarize: binarize, InH: inH, InW: inW, InC: inC}
+	h, w, c := inH, inW, inC
+	for _, cs := range convs {
+		scale := float32(math.Sqrt(6 / float64(9*c+9*cs.Filters)))
+		f := tensor.NewFilter(cs.Filters, 3, 3, c)
+		for i := range f.Data {
+			f.Data[i] = scale * (2*r.Float32() - 1)
+		}
+		n.convs = append(n.convs, convBlock{w: f, b: make([]float32, cs.Filters), pool: cs.Pool})
+		c = cs.Filters
+		if cs.Pool {
+			h /= 2
+			w /= 2
+		}
+	}
+	sizes := append(append([]int{h * w * c}, hidden...), classes)
+	for l := 0; l+1 < len(sizes); l++ {
+		in, out := sizes[l], sizes[l+1]
+		scale := float32(math.Sqrt(6 / float64(in+out)))
+		wm := tensor.NewMatrix(in, out)
+		for i := range wm.Data {
+			wm.Data[i] = scale * (2*r.Float32() - 1)
+		}
+		n.dense = append(n.dense, mlpLayer{w: wm, b: make([]float32, out)})
+	}
+	return n
+}
+
+// effW binarizes a weight in binary mode.
+func (n *ConvNet) effW(v float32) float32 {
+	if !n.Binarize {
+		return v
+	}
+	if v >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// padValue is the spatial padding: −1 in binarized mode (bit-level zero
+// padding decodes to −1), 0 in float mode.
+func (n *ConvNet) padValue() float32 {
+	if n.Binarize {
+		return -1
+	}
+	return 0
+}
+
+// convCache holds per-block forward state for backprop.
+type convCache struct {
+	in   *tensor.Tensor // block input (post previous activation/pool)
+	z    *tensor.Tensor // pre-activation
+	a    *tensor.Tensor // post-activation
+	out  *tensor.Tensor // post-pool (== a when pool is false)
+	amax []int          // pool argmax: flat index into a, per out element
+}
+
+// forward runs one sample through the conv stages and dense head.
+func (n *ConvNet) forward(x *tensor.Tensor) (convs []convCache, zs [][]float32, hs [][]float32) {
+	cur := x
+	if n.BinarizeInput {
+		cur = x.Sign()
+	}
+	for _, blk := range n.convs {
+		cc := convCache{in: cur}
+		cc.z = n.convForward(cur, blk)
+		cc.a = tensor.New(cc.z.H, cc.z.W, cc.z.C)
+		for i, v := range cc.z.Data {
+			if n.Binarize {
+				if v >= 0 {
+					cc.a.Data[i] = 1
+				} else {
+					cc.a.Data[i] = -1
+				}
+			} else {
+				cc.a.Data[i] = float32(math.Tanh(float64(v)))
+			}
+		}
+		if blk.pool {
+			cc.out, cc.amax = maxPoolArg(cc.a)
+		} else {
+			cc.out = cc.a
+		}
+		convs = append(convs, cc)
+		cur = cc.out
+	}
+	// Dense head over the flattened activation.
+	flat := cur.Data
+	hs = append(hs, flat)
+	vec := flat
+	for l, ly := range n.dense {
+		in, out := ly.w.Rows, ly.w.Cols
+		if len(vec) != in {
+			panic(fmt.Sprintf("nn: convnet dense %d input %d want %d", l, len(vec), in))
+		}
+		z := make([]float32, out)
+		for i, xi := range vec {
+			if xi == 0 {
+				continue
+			}
+			row := ly.w.Data[i*out : (i+1)*out]
+			for j, wj := range row {
+				z[j] += xi * n.effW(wj)
+			}
+		}
+		for j := range z {
+			z[j] += ly.b[j]
+		}
+		zs = append(zs, z)
+		if l == len(n.dense)-1 {
+			break
+		}
+		h := make([]float32, out)
+		for j, v := range z {
+			if n.Binarize {
+				if v >= 0 {
+					h[j] = 1
+				} else {
+					h[j] = -1
+				}
+			} else {
+				h[j] = float32(math.Tanh(float64(v)))
+			}
+		}
+		hs = append(hs, h)
+		vec = h
+	}
+	return convs, zs, hs
+}
+
+// convForward computes conv3×3/1/1 + bias with this network's weight
+// binarization and pad value.
+func (n *ConvNet) convForward(in *tensor.Tensor, blk convBlock) *tensor.Tensor {
+	k := blk.w.K
+	out := tensor.New(in.H, in.W, k)
+	pad := n.padValue()
+	for y := 0; y < in.H; y++ {
+		for x := 0; x < in.W; x++ {
+			dst := out.Pixel(y, x)
+			for kk := 0; kk < k; kk++ {
+				var acc float32
+				for i := 0; i < 3; i++ {
+					sy := y + i - 1
+					for j := 0; j < 3; j++ {
+						sx := x + j - 1
+						tap := blk.w.Tap(kk, i, j)
+						if sy < 0 || sy >= in.H || sx < 0 || sx >= in.W {
+							if pad != 0 {
+								for c := range tap {
+									acc += pad * n.effW(tap[c])
+								}
+							}
+							continue
+						}
+						px := in.Pixel(sy, sx)
+						for c := range tap {
+							acc += px[c] * n.effW(tap[c])
+						}
+					}
+				}
+				dst[kk] = acc + blk.b[kk]
+			}
+		}
+	}
+	return out
+}
+
+// maxPoolArg performs 2×2/2 max pooling, returning the output and the
+// flat argmax index per output element.
+func maxPoolArg(a *tensor.Tensor) (*tensor.Tensor, []int) {
+	oh, ow := a.H/2, a.W/2
+	out := tensor.New(oh, ow, a.C)
+	amax := make([]int, oh*ow*a.C)
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			for c := 0; c < a.C; c++ {
+				best := float32(math.Inf(-1))
+				bestIdx := 0
+				for i := 0; i < 2; i++ {
+					for j := 0; j < 2; j++ {
+						idx := ((2*y+i)*a.W+(2*x+j))*a.C + c
+						if v := a.Data[idx]; v > best {
+							best = v
+							bestIdx = idx
+						}
+					}
+				}
+				o := (y*ow+x)*a.C + c
+				out.Data[o] = best
+				amax[o] = bestIdx
+			}
+		}
+	}
+	return out, amax
+}
+
+// Logits returns the raw class scores for one image.
+func (n *ConvNet) Logits(x *tensor.Tensor) []float32 {
+	_, zs, _ := n.forward(x)
+	return zs[len(zs)-1]
+}
+
+// Predict returns the argmax class.
+func (n *ConvNet) Predict(x *tensor.Tensor) int {
+	logits := n.Logits(x)
+	best := 0
+	for i, v := range logits {
+		if v > logits[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Accuracy evaluates on an image dataset.
+func (n *ConvNet) Accuracy(d ImageDataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range d.X {
+		if n.Predict(x) == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}

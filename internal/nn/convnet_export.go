@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"fmt"
+
+	"bitflow/internal/graph"
+	"bitflow/internal/sched"
+	"bitflow/internal/tensor"
+)
+
+// ExportConvNet compiles a trained, fully binarized ConvNet into a
+// packed inference Network: conv blocks become PressedConv (+ binary
+// OR-pool) layers with bias-folded thresholds; the dense head exports as
+// in Export. Logits are bit-exact with the trainer (the trainer pads
+// with −1 and pools ±1 values, matching the engine's bit semantics).
+//
+// The channel count entering the dense head must be a multiple of 64
+// (the engine's flatten contiguity requirement) — pick filter counts
+// accordingly.
+func ExportConvNet(n *ConvNet, name string, feat sched.Features) (*graph.Network, error) {
+	if !n.Binarize || !n.BinarizeInput {
+		return nil, fmt.Errorf("nn: ExportConvNet requires Binarize and BinarizeInput")
+	}
+	if len(n.convs) == 0 || len(n.dense) == 0 {
+		return nil, fmt.Errorf("nn: ExportConvNet needs at least one conv block and one dense layer")
+	}
+	b := graph.NewBuilder(name, n.InH, n.InW, n.InC, feat)
+	for l, blk := range n.convs {
+		b.Conv3x3(convBlockName(l), blk.w.K)
+		if blk.pool {
+			b.Pool(fmt.Sprintf("pool%d", l), 2, 2, 2)
+		}
+	}
+	b.Flatten()
+	for l := range n.dense {
+		b.Dense(denseName(l), n.dense[l].w.Cols)
+	}
+	return b.Build(&convNetSource{n: n})
+}
+
+func convBlockName(l int) string { return fmt.Sprintf("conv%d", l) }
+func denseName(l int) string     { return fmt.Sprintf("dense%d", l) }
+
+// convNetSource adapts the trained latent weights/biases to the graph's
+// weight interfaces.
+type convNetSource struct {
+	n *ConvNet
+}
+
+func (s *convNetSource) ConvFilter(name string, k, kh, kw, c int) (*tensor.Filter, error) {
+	var l int
+	if _, err := fmt.Sscanf(name, "conv%d", &l); err != nil || l < 0 || l >= len(s.n.convs) {
+		return nil, fmt.Errorf("nn: unknown conv block %q", name)
+	}
+	w := s.n.convs[l].w
+	if w.K != k || w.KH != kh || w.KW != kw || w.C != c {
+		return nil, fmt.Errorf("nn: conv block %q is %v, graph asked for K=%d %dx%dx%d", name, w, k, kh, kw, c)
+	}
+	return w, nil
+}
+
+func (s *convNetSource) ConvBias(name string, k int) ([]float32, error) {
+	var l int
+	if _, err := fmt.Sscanf(name, "conv%d", &l); err != nil || l < 0 || l >= len(s.n.convs) {
+		return nil, fmt.Errorf("nn: unknown conv block %q", name)
+	}
+	return s.n.convs[l].b, nil
+}
+
+func (s *convNetSource) DenseMatrix(name string, nIn, k int) (*tensor.Matrix, error) {
+	var l int
+	if _, err := fmt.Sscanf(name, "dense%d", &l); err != nil || l < 0 || l >= len(s.n.dense) {
+		return nil, fmt.Errorf("nn: unknown dense layer %q", name)
+	}
+	w := s.n.dense[l].w
+	if w.Rows != nIn || w.Cols != k {
+		return nil, fmt.Errorf("nn: dense layer %q is %dx%d, graph asked for %dx%d", name, w.Rows, w.Cols, nIn, k)
+	}
+	return w, nil
+}
+
+func (s *convNetSource) DenseBias(name string, k int) ([]float32, error) {
+	var l int
+	if _, err := fmt.Sscanf(name, "dense%d", &l); err != nil || l < 0 || l >= len(s.n.dense) {
+		return nil, fmt.Errorf("nn: unknown dense layer %q", name)
+	}
+	return s.n.dense[l].b, nil
+}

@@ -1,0 +1,207 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"bitflow/internal/tensor"
+	"bitflow/internal/workload"
+)
+
+// TestConvNetGradCheck verifies the conv/pool/dense backward pass against
+// finite differences on the float path.
+func TestConvNetGradCheck(t *testing.T) {
+	r := workload.NewRNG(150)
+	n := NewConvNet(r, 6, 6, 2, []ConvSpec{{Filters: 3, Pool: true}}, []int{5}, 2, false)
+	x := workload.RandTensor(r, 6, 6, 2)
+	y := 1
+
+	g := n.newGrads()
+	n.grads(x, y, g)
+
+	loss := func() float64 {
+		z := n.Logits(x)
+		tmp := make([]float32, len(z))
+		return softmaxGrad(z, y, tmp)
+	}
+	const eps = 1e-3
+	check := func(name string, p *float32, analytic float32) {
+		t.Helper()
+		orig := *p
+		*p = orig + eps
+		lp := loss()
+		*p = orig - eps
+		lm := loss()
+		*p = orig
+		numeric := (lp - lm) / (2 * eps)
+		if diff := math.Abs(numeric - float64(analytic)); diff > 6e-2*(1+math.Abs(numeric)) {
+			t.Errorf("%s: numeric %g analytic %g", name, numeric, analytic)
+		}
+	}
+	for _, idx := range []int{0, 7, 20, 41, 53} {
+		check("conv w", &n.convs[0].w.Data[idx], g.cw[0].Data[idx])
+	}
+	check("conv b", &n.convs[0].b[1], g.cb[0][1])
+	for _, idx := range []int{0, 11, 40} {
+		check("dense0 w", &n.dense[0].w.Data[idx], g.dw[0].Data[idx])
+	}
+	check("dense0 b", &n.dense[0].b[3], g.db[0][3])
+	for _, idx := range []int{0, 6} {
+		check("dense1 w", &n.dense[1].w.Data[idx], g.dw[1].Data[idx])
+	}
+	check("dense1 b", &n.dense[1].b[0], g.db[1][0])
+}
+
+// TestConvNetGradCheckTwoBlocks exercises the conv→conv input-gradient
+// path (dIn flowing through a second block).
+func TestConvNetGradCheckTwoBlocks(t *testing.T) {
+	r := workload.NewRNG(151)
+	n := NewConvNet(r, 4, 4, 1, []ConvSpec{{Filters: 2}, {Filters: 3, Pool: true}}, nil, 2, false)
+	x := workload.RandTensor(r, 4, 4, 1)
+	y := 0
+	g := n.newGrads()
+	n.grads(x, y, g)
+	loss := func() float64 {
+		z := n.Logits(x)
+		tmp := make([]float32, len(z))
+		return softmaxGrad(z, y, tmp)
+	}
+	const eps = 1e-3
+	// Check the FIRST block's weights — their gradient flows through the
+	// second conv, its activation, and the pool.
+	for _, idx := range []int{0, 5, 11, 17} {
+		p := &n.convs[0].w.Data[idx]
+		analytic := g.cw[0].Data[idx]
+		orig := *p
+		*p = orig + eps
+		lp := loss()
+		*p = orig - eps
+		lm := loss()
+		*p = orig
+		numeric := (lp - lm) / (2 * eps)
+		if diff := math.Abs(numeric - float64(analytic)); diff > 6e-2*(1+math.Abs(numeric)) {
+			t.Errorf("conv0 w[%d]: numeric %g analytic %g", idx, numeric, analytic)
+		}
+	}
+}
+
+func TestStripesDataset(t *testing.T) {
+	r := workload.NewRNG(152)
+	d := Stripes(r, 200, 12, 4)
+	if d.Len() != 200 || d.H != 12 || d.Classes != 4 {
+		t.Fatalf("dataset %+v", d)
+	}
+	counts := make([]int, 4)
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 50 {
+			t.Errorf("class %d count %d", c, n)
+		}
+	}
+	train, test := d.Split(0.8)
+	if train.Len() != 160 || test.Len() != 40 {
+		t.Error("split sizes wrong")
+	}
+}
+
+func TestFloatConvNetLearnsStripes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training loop")
+	}
+	r := workload.NewRNG(153)
+	d := Stripes(r, 600, 8, 3)
+	train, test := d.Split(0.8)
+	n := NewConvNet(workload.NewRNG(154), 8, 8, 1, []ConvSpec{{Filters: 8, Pool: true}}, []int{16}, 3, false)
+	n.Train(train, TrainConfig{Epochs: 12, BatchSize: 16, LR: 0.05, Seed: 155})
+	if acc := n.Accuracy(test); acc < 0.85 {
+		t.Errorf("float convnet accuracy %.3f < 0.85", acc)
+	}
+}
+
+func TestBinarizedConvNetLearnsStripes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training loop")
+	}
+	r := workload.NewRNG(156)
+	d := Stripes(r, 600, 8, 3)
+	train, test := d.Split(0.8)
+	n := NewConvNet(workload.NewRNG(157), 8, 8, 1, []ConvSpec{{Filters: 16, Pool: true}}, []int{32}, 3, true)
+	n.BinarizeInput = true
+	n.Train(train, TrainConfig{Epochs: 20, BatchSize: 16, LR: 0.05, Seed: 158})
+	if acc := n.Accuracy(test); acc < 0.7 {
+		t.Errorf("binarized convnet accuracy %.3f < 0.7", acc)
+	}
+}
+
+func TestExportConvNetBitExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training loop")
+	}
+	r := workload.NewRNG(159)
+	d := Stripes(r, 400, 8, 3)
+	// 64 filters so the flatten contiguity requirement holds.
+	n := NewConvNet(workload.NewRNG(160), 8, 8, 1, []ConvSpec{{Filters: 64, Pool: true}}, []int{32}, 3, true)
+	n.BinarizeInput = true
+	n.Train(d, TrainConfig{Epochs: 4, BatchSize: 16, LR: 0.05, Seed: 161})
+
+	net, err := ExportConvNet(n, "convnet", exportFeat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		want := n.Logits(d.X[i])
+		got := net.Infer(d.X[i])
+		for c := range want {
+			if got[c] != want[c] {
+				t.Fatalf("sample %d logit %d: engine %v trainer %v", i, c, got[c], want[c])
+			}
+		}
+	}
+}
+
+func TestExportConvNetRequirements(t *testing.T) {
+	r := workload.NewRNG(162)
+	floatNet := NewConvNet(r, 8, 8, 1, []ConvSpec{{Filters: 64}}, nil, 2, false)
+	if _, err := ExportConvNet(floatNet, "x", exportFeat()); err == nil {
+		t.Error("float convnet export: expected error")
+	}
+	badChannels := NewConvNet(r, 8, 8, 1, []ConvSpec{{Filters: 24}}, nil, 2, true)
+	badChannels.BinarizeInput = true
+	if _, err := ExportConvNet(badChannels, "x", exportFeat()); err == nil {
+		t.Error("non-multiple-of-64 channels at flatten: expected error")
+	}
+}
+
+func TestMaxPoolArg(t *testing.T) {
+	a := tensor.FromSlice(2, 2, 1, []float32{1, 5, 3, 2})
+	out, amax := maxPoolArg(a)
+	if out.H != 1 || out.W != 1 || out.Data[0] != 5 {
+		t.Fatalf("pool out %v", out.Data)
+	}
+	if amax[0] != 1 {
+		t.Errorf("argmax %d", amax[0])
+	}
+}
+
+func TestConvNetPadValueSemantics(t *testing.T) {
+	r := workload.NewRNG(163)
+	// Binarized mode pads −1; an all-ones filter over an all-ones image
+	// must produce corner value 4·1 + 5·(−1) + b = −1 + b per filter.
+	n := NewConvNet(r, 3, 3, 1, []ConvSpec{{Filters: 1}}, nil, 2, true)
+	n.BinarizeInput = true
+	for i := range n.convs[0].w.Data {
+		n.convs[0].w.Data[i] = 1
+	}
+	n.convs[0].b[0] = 0
+	x := tensor.New(3, 3, 1)
+	x.Fill(1)
+	convs, _, _ := n.forward(x)
+	if got := convs[0].z.At(0, 0, 0); got != -1 {
+		t.Errorf("corner pre-activation %v want -1 (pad must be -1)", got)
+	}
+	if got := convs[0].z.At(1, 1, 0); got != 9 {
+		t.Errorf("center pre-activation %v want 9", got)
+	}
+}

@@ -1,0 +1,255 @@
+package nn
+
+import (
+	"math"
+
+	"bitflow/internal/tensor"
+	"bitflow/internal/workload"
+)
+
+// convGrads holds one gradient accumulator set for a ConvNet.
+type convGrads struct {
+	cw []*tensor.Filter
+	cb [][]float32
+	dw []*tensor.Matrix
+	db [][]float32
+}
+
+func (n *ConvNet) newGrads() *convGrads {
+	g := &convGrads{}
+	for _, blk := range n.convs {
+		g.cw = append(g.cw, tensor.NewFilter(blk.w.K, 3, 3, blk.w.C))
+		g.cb = append(g.cb, make([]float32, blk.w.K))
+	}
+	for _, ly := range n.dense {
+		g.dw = append(g.dw, tensor.NewMatrix(ly.w.Rows, ly.w.Cols))
+		g.db = append(g.db, make([]float32, len(ly.b)))
+	}
+	return g
+}
+
+func (g *convGrads) zero() {
+	for _, f := range g.cw {
+		clear(f.Data)
+	}
+	for _, b := range g.cb {
+		clear(b)
+	}
+	for _, m := range g.dw {
+		clear(m.Data)
+	}
+	for _, b := range g.db {
+		clear(b)
+	}
+}
+
+// steMask returns the straight-through / tanh activation derivative.
+func (n *ConvNet) actDeriv(z float32) float32 {
+	if n.Binarize {
+		if z > 1 || z < -1 {
+			return 0
+		}
+		return 1
+	}
+	t := float32(math.Tanh(float64(z)))
+	return 1 - t*t
+}
+
+// grads accumulates one sample's gradients and returns its loss.
+func (n *ConvNet) grads(x *tensor.Tensor, y int, g *convGrads) float64 {
+	convs, zs, hs := n.forward(x)
+
+	// Dense head backward (mirrors MLP.grads).
+	last := len(n.dense) - 1
+	delta := make([]float32, n.dense[last].w.Cols)
+	loss := softmaxGrad(zs[last], y, delta)
+	for l := last; l >= 0; l-- {
+		ly := n.dense[l]
+		in, out := ly.w.Rows, ly.w.Cols
+		input := hs[l]
+		for i := 0; i < in; i++ {
+			xi := input[i]
+			if xi == 0 {
+				continue
+			}
+			grow := g.dw[l].Data[i*out : (i+1)*out]
+			for j, dj := range delta {
+				grow[j] += xi * dj
+			}
+		}
+		for j, dj := range delta {
+			g.db[l][j] += dj
+		}
+		prev := make([]float32, in)
+		for i := 0; i < in; i++ {
+			row := ly.w.Data[i*out : (i+1)*out]
+			var acc float32
+			for j, dj := range delta {
+				acc += dj * n.effW(row[j])
+			}
+			prev[i] = acc
+		}
+		if l > 0 {
+			z := zs[l-1]
+			for i := range prev {
+				prev[i] *= n.actDeriv(z[i])
+			}
+			delta = prev
+		} else {
+			delta = prev // gradient on the flattened conv output
+		}
+	}
+
+	// Conv stages backward.
+	if len(n.convs) == 0 {
+		return loss
+	}
+	lastConv := convs[len(convs)-1]
+	dOut := tensor.FromSlice(lastConv.out.H, lastConv.out.W, lastConv.out.C, delta)
+	for l := len(n.convs) - 1; l >= 0; l-- {
+		blk := n.convs[l]
+		cc := convs[l]
+		// Pool backward: route gradients to the argmax positions.
+		var dA *tensor.Tensor
+		if blk.pool {
+			dA = tensor.New(cc.a.H, cc.a.W, cc.a.C)
+			for o, idx := range cc.amax {
+				dA.Data[idx] += dOut.Data[o]
+			}
+		} else {
+			dA = dOut
+		}
+		// Activation backward.
+		dZ := dA // reuse storage: dA is ours except when !pool and l is last... dOut was ours in all cases
+		for i := range dZ.Data {
+			dZ.Data[i] *= n.actDeriv(cc.z.Data[i])
+		}
+		// Bias gradient.
+		for i, v := range dZ.Data {
+			g.cb[l][i%blk.w.K] += v
+		}
+		// Weight gradient and input gradient.
+		var dIn *tensor.Tensor
+		needInput := l > 0
+		if needInput {
+			dIn = tensor.New(cc.in.H, cc.in.W, cc.in.C)
+		}
+		pad := n.padValue()
+		gw := g.cw[l]
+		for yy := 0; yy < dZ.H; yy++ {
+			for xx := 0; xx < dZ.W; xx++ {
+				dz := dZ.Pixel(yy, xx)
+				for i := 0; i < 3; i++ {
+					sy := yy + i - 1
+					inBounds := sy >= 0 && sy < cc.in.H
+					for j := 0; j < 3; j++ {
+						sx := xx + j - 1
+						if !inBounds || sx < 0 || sx >= cc.in.W {
+							if pad != 0 {
+								for kk, dzk := range dz {
+									if dzk == 0 {
+										continue
+									}
+									tap := gw.Tap(kk, i, j)
+									for c := range tap {
+										tap[c] += pad * dzk
+									}
+								}
+							}
+							continue
+						}
+						px := cc.in.Pixel(sy, sx)
+						for kk, dzk := range dz {
+							if dzk == 0 {
+								continue
+							}
+							tap := gw.Tap(kk, i, j)
+							wtap := blk.w.Tap(kk, i, j)
+							if needInput {
+								din := dIn.Pixel(sy, sx)
+								for c := range tap {
+									tap[c] += px[c] * dzk
+									din[c] += n.effW(wtap[c]) * dzk
+								}
+							} else {
+								for c := range tap {
+									tap[c] += px[c] * dzk
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		if !needInput {
+			break
+		}
+		// The block input was the previous block's post-pool activation;
+		// its sign/tanh derivative is applied in the previous iteration
+		// (dIn here is the gradient on that output).
+		dOut = dIn
+	}
+	return loss
+}
+
+// Train runs minibatch SGD; binarized networks clip latent weights to
+// [−1, 1] after every step. Returns the final epoch's mean loss.
+func (n *ConvNet) Train(d ImageDataset, cfg TrainConfig) float64 {
+	if cfg.Epochs <= 0 || d.Len() == 0 {
+		return 0
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	r := workload.NewRNG(cfg.Seed)
+	g := n.newGrads()
+	order := make([]int, d.Len())
+	for i := range order {
+		order[i] = i
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for i := len(order) - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		var epochLoss float64
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := min(start+cfg.BatchSize, len(order))
+			g.zero()
+			for _, idx := range order[start:end] {
+				epochLoss += n.grads(d.X[idx], d.Y[idx], g)
+			}
+			n.step(g, cfg.LR/float32(end-start))
+		}
+		lastLoss = epochLoss / float64(d.Len())
+	}
+	return lastLoss
+}
+
+func (n *ConvNet) step(g *convGrads, lr float32) {
+	clip := func(w []float32, grad []float32) {
+		for i := range w {
+			w[i] -= lr * grad[i]
+			if n.Binarize {
+				if w[i] > 1 {
+					w[i] = 1
+				} else if w[i] < -1 {
+					w[i] = -1
+				}
+			}
+		}
+	}
+	for l := range n.convs {
+		clip(n.convs[l].w.Data, g.cw[l].Data)
+		for i := range n.convs[l].b {
+			n.convs[l].b[i] -= lr * g.cb[l][i]
+		}
+	}
+	for l := range n.dense {
+		clip(n.dense[l].w.Data, g.dw[l].Data)
+		for i := range n.dense[l].b {
+			n.dense[l].b[i] -= lr * g.db[l][i]
+		}
+	}
+}

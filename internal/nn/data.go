@@ -1,0 +1,104 @@
+// Package nn reproduces the *shape* of paper Table V: training the same
+// architecture in full precision and binarized (BinaryConnect/BinaryNet
+// style: sign-binarized weights and activations in the forward pass,
+// straight-through estimator gradients) and comparing test accuracy. The
+// paper trains VGG on MNIST/CIFAR-10/ImageNet; those datasets are not
+// available offline, so the experiment runs on synthetic classification
+// tasks of increasing difficulty — the claim under reproduction is the
+// small-but-widening accuracy gap, not the absolute numbers (DESIGN.md §2).
+package nn
+
+import (
+	"math"
+
+	"bitflow/internal/workload"
+)
+
+// Dataset is a labelled classification set.
+type Dataset struct {
+	X       [][]float32
+	Y       []int
+	Dim     int
+	Classes int
+}
+
+// Len returns the number of samples.
+func (d Dataset) Len() int { return len(d.X) }
+
+// Split partitions the dataset into train/test with the first
+// ⌊frac·n⌋ samples training (callers shuffle via generation order; the
+// generators below interleave classes, so a prefix split is stratified).
+func (d Dataset) Split(frac float64) (train, test Dataset) {
+	n := int(frac * float64(d.Len()))
+	train = Dataset{X: d.X[:n], Y: d.Y[:n], Dim: d.Dim, Classes: d.Classes}
+	test = Dataset{X: d.X[n:], Y: d.Y[n:], Dim: d.Dim, Classes: d.Classes}
+	return
+}
+
+// Clusters generates the "easy" task (MNIST stand-in): well-separated
+// Gaussian clusters, one per class, in dim dimensions.
+func Clusters(r *workload.RNG, n, dim, classes int, spread float64) Dataset {
+	return clusters(r, n, dim, classes, spread, 4.0)
+}
+
+// HardClusters generates the "hard" task (ImageNet stand-in): many
+// classes whose means sit close together relative to their spread, so
+// class regions overlap heavily.
+func HardClusters(r *workload.RNG, n, dim, classes int) Dataset {
+	return clusters(r, n, dim, classes, 2.0, 1.6)
+}
+
+func clusters(r *workload.RNG, n, dim, classes int, spread, sep float64) Dataset {
+	means := make([][]float64, classes)
+	for c := range means {
+		m := make([]float64, dim)
+		for i := range m {
+			m[i] = sep * r.Norm()
+		}
+		means[c] = m
+	}
+	d := Dataset{Dim: dim, Classes: classes}
+	for i := 0; i < n; i++ {
+		c := i % classes // interleaved → prefix splits are stratified
+		x := make([]float32, dim)
+		for j := 0; j < dim; j++ {
+			x[j] = float32(means[c][j] + spread*r.Norm())
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, c)
+	}
+	return d
+}
+
+// Rings generates the "medium" task (CIFAR-10 stand-in): concentric
+// rings in the first two dimensions — not linearly separable — plus
+// noise dimensions. Ring geometry is genuinely harder for a binarized
+// network than for a float one (sign-constrained first-layer weights
+// approximate radial boundaries poorly), which is exactly the regime the
+// medium row of Table V probes.
+func Rings(r *workload.RNG, n, dim, classes int) Dataset {
+	if dim < 2 {
+		dim = 2
+	}
+	d := Dataset{Dim: dim, Classes: classes}
+	for i := 0; i < n; i++ {
+		c := i % classes
+		radius := 2.0*float64(c) + 1
+		angle := 2 * math.Pi * r.Float64()
+		x := make([]float32, dim)
+		x[0] = float32(radius*math.Cos(angle) + 0.2*r.Norm())
+		x[1] = float32(radius*math.Sin(angle) + 0.2*r.Norm())
+		for j := 2; j < dim; j++ {
+			x[j] = float32(0.3 * r.Norm())
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, c)
+	}
+	return d
+}
+
+// ClustersWithSep exposes the cluster generator with explicit spread and
+// separation, for calibration of intermediate difficulties.
+func ClustersWithSep(r *workload.RNG, n, dim, classes int, spread, sep float64) Dataset {
+	return clusters(r, n, dim, classes, spread, sep)
+}

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"fmt"
+
+	"bitflow/internal/graph"
+	"bitflow/internal/sched"
+	"bitflow/internal/tensor"
+)
+
+// Export compiles a trained, fully binarized MLP into a packed inference
+// Network (the train → deploy path: the returned network can be saved
+// with Network.Save and later Loaded on any machine).
+//
+// Requirements: m.Binarize and m.BinarizeInput must be set — the packed
+// engine's layers consume and produce bits, so the float-input first
+// layer of a standard BNN cannot be represented. Biases fold into
+// integer sign thresholds (hidden layers) and a float affine (the
+// classifier); the network's logits equal m.Logits exactly (±1 products
+// are integers, exactly representable in float32).
+func Export(m *MLP, name string, feat sched.Features) (*graph.Network, error) {
+	if !m.Binarize || !m.BinarizeInput {
+		return nil, fmt.Errorf("nn: Export requires Binarize and BinarizeInput (got %v, %v)", m.Binarize, m.BinarizeInput)
+	}
+	if len(m.layers) == 0 {
+		return nil, fmt.Errorf("nn: empty network")
+	}
+	b := graph.NewBuilder(name, 1, 1, m.layers[0].w.Rows, feat)
+	src := &mlpSource{m: m}
+	for l := range m.layers {
+		b.Dense(layerName(l), m.layers[l].w.Cols)
+	}
+	return b.Build(src)
+}
+
+func layerName(l int) string { return fmt.Sprintf("layer%d", l) }
+
+// mlpSource adapts a trained MLP's latent weights and biases to the
+// graph's weight interfaces. The graph sign-binarizes the latent weights
+// exactly as the MLP's forward pass does.
+type mlpSource struct {
+	m *MLP
+}
+
+func (s *mlpSource) ConvFilter(name string, k, kh, kw, c int) (*tensor.Filter, error) {
+	return nil, fmt.Errorf("nn: MLP export has no conv layers (asked for %q)", name)
+}
+
+func (s *mlpSource) DenseMatrix(name string, n, k int) (*tensor.Matrix, error) {
+	l, err := s.layerFor(name)
+	if err != nil {
+		return nil, err
+	}
+	w := s.m.layers[l].w
+	if w.Rows != n || w.Cols != k {
+		return nil, fmt.Errorf("nn: layer %q is %dx%d, graph asked for %dx%d", name, w.Rows, w.Cols, n, k)
+	}
+	return w, nil
+}
+
+// DenseBias satisfies graph.BiasSource: the trained biases fold into
+// thresholds/affine at build time.
+func (s *mlpSource) DenseBias(name string, k int) ([]float32, error) {
+	l, err := s.layerFor(name)
+	if err != nil {
+		return nil, err
+	}
+	b := s.m.layers[l].b
+	if len(b) != k {
+		return nil, fmt.Errorf("nn: layer %q bias has %d entries, graph asked for %d", name, len(b), k)
+	}
+	return b, nil
+}
+
+// ConvBias satisfies graph.BiasSource; never used for MLPs.
+func (s *mlpSource) ConvBias(name string, k int) ([]float32, error) {
+	return nil, fmt.Errorf("nn: MLP export has no conv layers (asked for %q)", name)
+}
+
+func (s *mlpSource) layerFor(name string) (int, error) {
+	var l int
+	if _, err := fmt.Sscanf(name, "layer%d", &l); err != nil || l < 0 || l >= len(s.m.layers) {
+		return 0, fmt.Errorf("nn: unknown export layer %q", name)
+	}
+	return l, nil
+}

@@ -1,0 +1,123 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"bitflow/internal/graph"
+	"bitflow/internal/kernels"
+	"bitflow/internal/sched"
+	"bitflow/internal/tensor"
+	"bitflow/internal/workload"
+)
+
+func exportFeat() sched.Features {
+	return sched.Features{Arch: "test", MaxWidth: kernels.W512, HWPopcount: true}
+}
+
+func trainedBinaryMLP(t *testing.T, seed uint64, sizes []int) (*MLP, Dataset) {
+	t.Helper()
+	r := workload.NewRNG(seed)
+	d := Clusters(r, 800, sizes[0], sizes[len(sizes)-1], 1.0)
+	m := NewMLP(workload.NewRNG(seed+1), sizes, true)
+	m.BinarizeInput = true
+	m.Train(d, TrainConfig{Epochs: 12, BatchSize: 16, LR: 0.05, Seed: seed + 2})
+	return m, d
+}
+
+func TestExportMatchesMLPLogitsExactly(t *testing.T) {
+	m, d := trainedBinaryMLP(t, 90, []int{24, 40, 4})
+	net, err := Export(m, "exported", exportFeat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Classes != 4 {
+		t.Fatalf("classes %d", net.Classes)
+	}
+	for i := 0; i < 50; i++ {
+		x := d.X[i]
+		want := m.Logits(x)
+		got := net.Infer(tensor.FromSlice(1, 1, len(x), x))
+		for c := range want {
+			if got[c] != want[c] {
+				t.Fatalf("sample %d logit %d: engine %v trainer %v", i, c, got[c], want[c])
+			}
+		}
+	}
+}
+
+func TestExportPredictionsAgreeOnDataset(t *testing.T) {
+	m, d := trainedBinaryMLP(t, 91, []int{16, 32, 3})
+	net, err := Export(m, "exported", exportFeat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range d.X[:200] {
+		want := m.Predict(x)
+		logits := net.Infer(tensor.FromSlice(1, 1, len(x), x))
+		got := 0
+		for c, v := range logits {
+			if v > logits[got] {
+				got = c
+			}
+		}
+		if got != want {
+			t.Fatalf("sample %d: engine class %d trainer class %d", i, got, want)
+		}
+	}
+}
+
+func TestExportSaveLoadInferencePipeline(t *testing.T) {
+	// The full deployment path: train → export → save → load → infer.
+	m, d := trainedBinaryMLP(t, 92, []int{16, 24, 3})
+	net, err := Export(m, "pipeline", exportFeat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := graph.Load(&buf, exportFeat().WithMaxWidth(kernels.W64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		x := d.X[i]
+		want := m.Logits(x)
+		got := loaded.Infer(tensor.FromSlice(1, 1, len(x), x))
+		for c := range want {
+			if got[c] != want[c] {
+				t.Fatalf("sample %d logit %d: loaded %v trainer %v", i, c, got[c], want[c])
+			}
+		}
+	}
+}
+
+func TestExportRequiresFullBinarization(t *testing.T) {
+	r := workload.NewRNG(93)
+	floatNet := NewMLP(r, []int{8, 8, 2}, false)
+	if _, err := Export(floatNet, "x", exportFeat()); err == nil {
+		t.Error("float net export: expected error")
+	}
+	binNoInput := NewMLP(r, []int{8, 8, 2}, true)
+	if _, err := Export(binNoInput, "x", exportFeat()); err == nil {
+		t.Error("float-input net export: expected error")
+	}
+}
+
+func TestBinarizeInputForward(t *testing.T) {
+	r := workload.NewRNG(94)
+	m := NewMLP(r, []int{4, 3}, true)
+	m.BinarizeInput = true
+	// Scaling the input must not change anything once binarized.
+	x := []float32{0.2, -0.9, 0.5, -0.1}
+	x10 := []float32{2, -9, 5, -1}
+	a := m.Logits(x)
+	b := m.Logits(x10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("logit %d: %v vs %v — input binarization not applied", i, a[i], b[i])
+		}
+	}
+}

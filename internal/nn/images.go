@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"bitflow/internal/tensor"
+	"bitflow/internal/workload"
+)
+
+// ImageDataset is a labelled set of small single-channel images for the
+// convolutional Table V-style experiments.
+type ImageDataset struct {
+	X       []*tensor.Tensor
+	Y       []int
+	H, W, C int
+	Classes int
+}
+
+// Len returns the number of samples.
+func (d ImageDataset) Len() int { return len(d.X) }
+
+// Split partitions into train/test (class-interleaved generation makes a
+// prefix split stratified).
+func (d ImageDataset) Split(frac float64) (train, test ImageDataset) {
+	n := int(frac * float64(d.Len()))
+	train = ImageDataset{X: d.X[:n], Y: d.Y[:n], H: d.H, W: d.W, C: d.C, Classes: d.Classes}
+	test = ImageDataset{X: d.X[n:], Y: d.Y[n:], H: d.H, W: d.W, C: d.C, Classes: d.Classes}
+	return
+}
+
+// Stripes generates an orientation-classification task that genuinely
+// needs convolution: class 0 = horizontal stripes, 1 = vertical stripes,
+// 2 = diagonal stripes, 3 = checkerboard, each with a random phase and
+// pixel noise. Values are roughly ±1, so binarizing the input loses
+// almost nothing — the regime a fully binarized CNN handles well.
+func Stripes(r *workload.RNG, n, size int, classes int) ImageDataset {
+	if classes < 2 {
+		classes = 2
+	}
+	if classes > 4 {
+		classes = 4
+	}
+	d := ImageDataset{H: size, W: size, C: 1, Classes: classes}
+	period := 4
+	for i := 0; i < n; i++ {
+		c := i % classes
+		phase := r.Intn(period)
+		img := tensor.New(size, size, 1)
+		for y := 0; y < size; y++ {
+			for x := 0; x < size; x++ {
+				var v float64
+				switch c {
+				case 0: // horizontal stripes
+					v = stripe(y+phase, period)
+				case 1: // vertical stripes
+					v = stripe(x+phase, period)
+				case 2: // diagonal stripes
+					v = stripe(x+y+phase, period)
+				default: // checkerboard
+					v = stripe(x+phase, period) * stripe(y+phase, period)
+				}
+				v += 0.3 * r.Norm()
+				img.Set(y, x, 0, float32(v))
+			}
+		}
+		d.X = append(d.X, img)
+		d.Y = append(d.Y, c)
+	}
+	return d
+}
+
+// stripe returns ±1 alternating with the given period.
+func stripe(p, period int) float64 {
+	if (p/(period/2))%2 == 0 {
+		return 1
+	}
+	return -1
+}

@@ -1,0 +1,242 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"bitflow/internal/tensor"
+	"bitflow/internal/workload"
+)
+
+// MLP is a fully connected classifier trained from scratch. With
+// Binarize=false it is an ordinary float32 network with tanh hidden
+// activations; with Binarize=true the forward pass uses sign-binarized
+// weights and sign hidden activations (the BNN of paper §II-A), and the
+// backward pass uses the straight-through estimator: gradients flow
+// through sign() where the pre-activation magnitude is ≤ 1, and weight
+// gradients are applied to the latent float weights, which are clipped to
+// [−1, 1] after each step (BinaryConnect).
+type MLP struct {
+	Binarize bool
+	// BinarizeInput applies the sign function to the input vector before
+	// the first layer. Fully binarized networks destined for export to
+	// the packed inference engine (Export) must set this — the engine's
+	// first layer consumes bits.
+	BinarizeInput bool
+	// layers[l].W is sizes[l]×sizes[l+1]; the latent float weights.
+	layers []mlpLayer
+}
+
+type mlpLayer struct {
+	w *tensor.Matrix
+	b []float32
+}
+
+// NewMLP builds a network with the given layer sizes (input, hidden…,
+// classes), initialized with scaled uniform weights.
+func NewMLP(r *workload.RNG, sizes []int, binarize bool) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: need at least input and output sizes")
+	}
+	m := &MLP{Binarize: binarize}
+	for l := 0; l+1 < len(sizes); l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := tensor.NewMatrix(in, out)
+		scale := float32(math.Sqrt(6 / float64(in+out))) // Glorot
+		for i := range w.Data {
+			w.Data[i] = scale * (2*r.Float32() - 1)
+		}
+		m.layers = append(m.layers, mlpLayer{w: w, b: make([]float32, out)})
+	}
+	return m
+}
+
+// effWeight returns the forward-pass weight: sign(w) when binarizing.
+func (m *MLP) effWeight(w float32) float32 {
+	if !m.Binarize {
+		return w
+	}
+	if w >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// forward runs one sample, returning per-layer pre-activations z and
+// hidden activations h (h[0] is the input).
+func (m *MLP) forward(x []float32) (zs [][]float32, hs [][]float32) {
+	if m.BinarizeInput {
+		bx := make([]float32, len(x))
+		for i, v := range x {
+			if v >= 0 {
+				bx[i] = 1
+			} else {
+				bx[i] = -1
+			}
+		}
+		x = bx
+	}
+	hs = append(hs, x)
+	cur := x
+	for l, ly := range m.layers {
+		in, out := ly.w.Rows, ly.w.Cols
+		if len(cur) != in {
+			panic(fmt.Sprintf("nn: layer %d input %d want %d", l, len(cur), in))
+		}
+		z := make([]float32, out)
+		for i, xi := range cur {
+			if xi == 0 {
+				continue
+			}
+			row := ly.w.Data[i*out : (i+1)*out]
+			for j, wj := range row {
+				z[j] += xi * m.effWeight(wj)
+			}
+		}
+		// Bias is added after the accumulation: with ±1 products the
+		// partial sums stay exact integers, and a single final rounded
+		// addition is sign-exact (Sterbenz) — so the sign here agrees
+		// bit-for-bit with the inference engine's folded integer
+		// thresholds (see export.go).
+		for j := range z {
+			z[j] += ly.b[j]
+		}
+		zs = append(zs, z)
+		if l == len(m.layers)-1 {
+			return zs, hs
+		}
+		h := make([]float32, out)
+		for j, v := range z {
+			if m.Binarize {
+				if v >= 0 {
+					h[j] = 1
+				} else {
+					h[j] = -1
+				}
+			} else {
+				h[j] = float32(math.Tanh(float64(v)))
+			}
+		}
+		hs = append(hs, h)
+		cur = h
+	}
+	return zs, hs
+}
+
+// Logits returns the raw class scores for one sample.
+func (m *MLP) Logits(x []float32) []float32 {
+	zs, _ := m.forward(x)
+	return zs[len(zs)-1]
+}
+
+// Predict returns the argmax class for one sample.
+func (m *MLP) Predict(x []float32) int {
+	logits := m.Logits(x)
+	best := 0
+	for i, v := range logits {
+		if v > logits[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Accuracy evaluates the classifier on a dataset.
+func (m *MLP) Accuracy(d Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range d.X {
+		if m.Predict(x) == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}
+
+// softmaxGrad computes softmax(z) − onehot(y) in place into g and returns
+// the cross-entropy loss.
+func softmaxGrad(z []float32, y int, g []float32) float64 {
+	maxZ := z[0]
+	for _, v := range z[1:] {
+		if v > maxZ {
+			maxZ = v
+		}
+	}
+	var sum float64
+	for i, v := range z {
+		e := math.Exp(float64(v - maxZ))
+		g[i] = float32(e)
+		sum += e
+	}
+	loss := 0.0
+	for i := range g {
+		p := float64(g[i]) / sum
+		g[i] = float32(p)
+		if i == y {
+			loss = -math.Log(math.Max(p, 1e-12))
+			g[i] -= 1
+		}
+	}
+	return loss
+}
+
+// grads accumulates per-layer gradients for one sample into gw/gb and
+// returns the loss.
+func (m *MLP) grads(x []float32, y int, gw []*tensor.Matrix, gb [][]float32) float64 {
+	zs, hs := m.forward(x)
+	last := len(m.layers) - 1
+	delta := make([]float32, m.layers[last].w.Cols)
+	loss := softmaxGrad(zs[last], y, delta)
+
+	for l := last; l >= 0; l-- {
+		ly := m.layers[l]
+		in, out := ly.w.Rows, ly.w.Cols
+		input := hs[l]
+		// Weight/bias gradients. With binarized weights the gradient is
+		// taken w.r.t. the binarized value and applied straight through
+		// to the latent float weight.
+		for i := 0; i < in; i++ {
+			xi := input[i]
+			if xi == 0 {
+				continue
+			}
+			grow := gw[l].Data[i*out : (i+1)*out]
+			for j, dj := range delta {
+				grow[j] += xi * dj
+			}
+		}
+		for j, dj := range delta {
+			gb[l][j] += dj
+		}
+		if l == 0 {
+			break
+		}
+		// Backprop into the previous hidden layer.
+		prev := make([]float32, in)
+		for i := 0; i < in; i++ {
+			row := ly.w.Data[i*out : (i+1)*out]
+			var acc float32
+			for j, dj := range delta {
+				acc += dj * m.effWeight(row[j])
+			}
+			prev[i] = acc
+		}
+		// Activation derivative at z of layer l-1.
+		z := zs[l-1]
+		for i := range prev {
+			if m.Binarize {
+				// Straight-through estimator: pass where |z| ≤ 1.
+				if z[i] > 1 || z[i] < -1 {
+					prev[i] = 0
+				}
+			} else {
+				th := float32(math.Tanh(float64(z[i])))
+				prev[i] *= 1 - th*th
+			}
+		}
+		delta = prev
+	}
+	return loss
+}

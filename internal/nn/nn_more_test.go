@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"testing"
+
+	"bitflow/internal/workload"
+)
+
+func TestDatasetDeterminism(t *testing.T) {
+	a := Clusters(workload.NewRNG(9), 100, 8, 3, 1.0)
+	b := Clusters(workload.NewRNG(9), 100, 8, 3, 1.0)
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("labels differ")
+		}
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatal("features differ")
+			}
+		}
+	}
+}
+
+func TestHardClustersHarderThanEasy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training loop")
+	}
+	cfg := TrainConfig{Epochs: 15, BatchSize: 16, LR: 0.05, Seed: 10}
+	r1 := workload.NewRNG(11)
+	easy := Clusters(r1, 1200, 16, 4, 1.0)
+	r2 := workload.NewRNG(11)
+	hard := HardClusters(r2, 1200, 16, 4)
+
+	accOn := func(d Dataset) float64 {
+		train, test := d.Split(0.8)
+		m := NewMLP(workload.NewRNG(12), []int{16, 32, 4}, false)
+		m.Train(train, cfg)
+		return m.Accuracy(test)
+	}
+	if ae, ah := accOn(easy), accOn(hard); ah >= ae {
+		t.Errorf("hard (%.3f) should score below easy (%.3f) for the same float model", ah, ae)
+	}
+}
+
+func TestTrainConfigDefaults(t *testing.T) {
+	cfg := DefaultTrainConfig()
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.LR <= 0 {
+		t.Errorf("bad defaults %+v", cfg)
+	}
+}
+
+func TestTrainNoopCases(t *testing.T) {
+	r := workload.NewRNG(13)
+	m := NewMLP(r, []int{4, 2}, false)
+	if loss := m.Train(Dataset{}, DefaultTrainConfig()); loss != 0 {
+		t.Error("empty dataset should be a no-op")
+	}
+	d := Clusters(r, 20, 4, 2, 1.0)
+	if loss := m.Train(d, TrainConfig{Epochs: 0}); loss != 0 {
+		t.Error("zero epochs should be a no-op")
+	}
+}
+
+func TestAccuracyEmptyDataset(t *testing.T) {
+	r := workload.NewRNG(14)
+	m := NewMLP(r, []int{4, 2}, false)
+	if m.Accuracy(Dataset{}) != 0 {
+		t.Error("empty dataset accuracy should be 0")
+	}
+	cn := NewConvNet(r, 4, 4, 1, []ConvSpec{{Filters: 2}}, nil, 2, false)
+	if cn.Accuracy(ImageDataset{}) != 0 {
+		t.Error("empty image dataset accuracy should be 0")
+	}
+}
+
+func TestCompareResultGap(t *testing.T) {
+	c := CompareResult{FullPrecision: 0.9, Binarized: 0.85}
+	if g := c.Gap(); g < 4.99 || g > 5.01 {
+		t.Errorf("Gap = %v want 5", g)
+	}
+}
+
+func TestExportLayerNameParsing(t *testing.T) {
+	r := workload.NewRNG(15)
+	m := NewMLP(r, []int{4, 3, 2}, true)
+	m.BinarizeInput = true
+	src := &mlpSource{m: m}
+	if _, err := src.DenseMatrix("layer0", 4, 3); err != nil {
+		t.Errorf("layer0: %v", err)
+	}
+	if _, err := src.DenseMatrix("layer9", 4, 3); err == nil {
+		t.Error("layer9 should not resolve")
+	}
+	if _, err := src.DenseMatrix("banana", 4, 3); err == nil {
+		t.Error("bad name should not resolve")
+	}
+	if _, err := src.DenseMatrix("layer0", 5, 3); err == nil {
+		t.Error("wrong dims should error")
+	}
+	if _, err := src.ConvFilter("conv0", 1, 3, 3, 1); err == nil {
+		t.Error("MLP source has no convs")
+	}
+}

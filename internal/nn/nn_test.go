@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"bitflow/internal/tensor"
+	"bitflow/internal/workload"
+)
+
+func TestDatasetSplitStratified(t *testing.T) {
+	r := workload.NewRNG(1)
+	d := Clusters(r, 1000, 8, 4, 1.0)
+	train, test := d.Split(0.8)
+	if train.Len() != 800 || test.Len() != 200 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	counts := make([]int, 4)
+	for _, y := range test.Y {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 50 {
+			t.Errorf("class %d has %d test samples, want 50", c, n)
+		}
+	}
+}
+
+func TestRingsNotLinearlySeparableShape(t *testing.T) {
+	r := workload.NewRNG(2)
+	d := Rings(r, 300, 4, 3)
+	// Class 2's ring radius ≈ 4: its points must sit farther from the
+	// origin (in the first two dims) than class 0's (radius ≈ 1).
+	var r0, r2 float64
+	var n0, n2 int
+	for i, x := range d.X {
+		rad := math.Hypot(float64(x[0]), float64(x[1]))
+		switch d.Y[i] {
+		case 0:
+			r0 += rad
+			n0++
+		case 2:
+			r2 += rad
+			n2++
+		}
+	}
+	if r0/float64(n0) >= r2/float64(n2) {
+		t.Error("ring radii not ordered by class")
+	}
+}
+
+// TestFloatGradCheck verifies the analytic gradients against finite
+// differences on the float path.
+func TestFloatGradCheck(t *testing.T) {
+	r := workload.NewRNG(3)
+	m := NewMLP(r, []int{5, 7, 3}, false)
+	x := make([]float32, 5)
+	for i := range x {
+		x[i] = 2*r.Float32() - 1
+	}
+	y := 1
+
+	gw := []*tensor.Matrix{tensor.NewMatrix(5, 7), tensor.NewMatrix(7, 3)}
+	gb := [][]float32{make([]float32, 7), make([]float32, 3)}
+	m.grads(x, y, gw, gb)
+
+	loss := func() float64 {
+		z := m.Logits(x)
+		g := make([]float32, len(z))
+		return softmaxGrad(z, y, g)
+	}
+	const eps = 1e-3
+	check := func(name string, p *float32, analytic float32) {
+		t.Helper()
+		orig := *p
+		*p = orig + eps
+		lp := loss()
+		*p = orig - eps
+		lm := loss()
+		*p = orig
+		numeric := (lp - lm) / (2 * eps)
+		if diff := math.Abs(numeric - float64(analytic)); diff > 5e-2*(1+math.Abs(numeric)) {
+			t.Errorf("%s: numeric %g analytic %g", name, numeric, analytic)
+		}
+	}
+	// Spot-check a handful of weights in each layer plus biases.
+	for _, idx := range []int{0, 3, 11, 20} {
+		check("w0", &m.layers[0].w.Data[idx], gw[0].Data[idx])
+	}
+	for _, idx := range []int{0, 5, 13} {
+		check("w1", &m.layers[1].w.Data[idx], gw[1].Data[idx])
+	}
+	check("b0", &m.layers[0].b[2], gb[0][2])
+	check("b1", &m.layers[1].b[1], gb[1][1])
+}
+
+func TestFloatTrainingLearnsClusters(t *testing.T) {
+	r := workload.NewRNG(4)
+	d := Clusters(r, 1200, 8, 3, 1.0)
+	train, test := d.Split(0.8)
+	m := NewMLP(workload.NewRNG(5), []int{8, 24, 3}, false)
+	cfg := TrainConfig{Epochs: 20, BatchSize: 16, LR: 0.05, Seed: 6}
+	m.Train(train, cfg)
+	if acc := m.Accuracy(test); acc < 0.9 {
+		t.Errorf("float accuracy %.3f < 0.9 on easy clusters", acc)
+	}
+}
+
+func TestBinarizedTrainingLearnsClusters(t *testing.T) {
+	r := workload.NewRNG(7)
+	d := Clusters(r, 1200, 8, 3, 1.0)
+	train, test := d.Split(0.8)
+	m := NewMLP(workload.NewRNG(8), []int{8, 24, 3}, true)
+	cfg := TrainConfig{Epochs: 30, BatchSize: 16, LR: 0.05, Seed: 9}
+	m.Train(train, cfg)
+	if acc := m.Accuracy(test); acc < 0.75 {
+		t.Errorf("binarized accuracy %.3f < 0.75 on easy clusters", acc)
+	}
+}
+
+func TestBinarizedWeightsStayClipped(t *testing.T) {
+	r := workload.NewRNG(10)
+	d := Clusters(r, 400, 6, 2, 1.0)
+	m := NewMLP(workload.NewRNG(11), []int{6, 12, 2}, true)
+	m.Train(d, TrainConfig{Epochs: 5, BatchSize: 8, LR: 0.2, Seed: 12})
+	for l, ly := range m.layers {
+		for _, w := range ly.w.Data {
+			if w > 1 || w < -1 {
+				t.Fatalf("layer %d weight %g escaped [-1,1]", l, w)
+			}
+		}
+	}
+}
+
+func TestBinarizedForwardUsesSignWeights(t *testing.T) {
+	// Scaling all latent weights by 0.5 must not change a binarized
+	// network's logits (only the signs matter).
+	r := workload.NewRNG(13)
+	m := NewMLP(r, []int{4, 6, 2}, true)
+	x := []float32{0.3, -0.2, 0.9, -0.7}
+	before := m.Logits(x)
+	for _, ly := range m.layers {
+		for i := range ly.w.Data {
+			ly.w.Data[i] *= 0.5
+		}
+	}
+	after := m.Logits(x)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("logit %d changed: %v vs %v", i, before[i], after[i])
+		}
+	}
+}
+
+func TestSoftmaxGrad(t *testing.T) {
+	z := []float32{1, 2, 3}
+	g := make([]float32, 3)
+	loss := softmaxGrad(z, 2, g)
+	if loss < 0 {
+		t.Error("negative loss")
+	}
+	var sum float32
+	for _, v := range g {
+		sum += v
+	}
+	// softmax sums to 1; minus one-hot → gradient sums to 0.
+	if sum > 1e-5 || sum < -1e-5 {
+		t.Errorf("gradient sums to %g", sum)
+	}
+	if g[2] >= 0 {
+		t.Error("true-class gradient must be negative")
+	}
+}
+
+func TestTableVExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training loop")
+	}
+	cfg := TrainConfig{Epochs: 20, BatchSize: 16, LR: 0.05, Seed: 14}
+	rows := TableVExperiment(100, cfg)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.FullPrecision < 0.5 {
+			t.Errorf("%s: float accuracy %.3f below 0.5", row.Task, row.FullPrecision)
+		}
+		// Binarization may cost accuracy but must stay usable —
+		// "acceptable for applications that are tolerant to a certain
+		// amount of prediction errors" (±3pp slack for run-to-run noise
+		// since binarized training is noisy).
+		if row.Binarized > row.FullPrecision+0.03 {
+			t.Errorf("%s: binarized (%.3f) above float (%.3f)", row.Task, row.Binarized, row.FullPrecision)
+		}
+		if row.Binarized < 0.3 {
+			t.Errorf("%s: binarized accuracy %.3f collapsed", row.Task, row.Binarized)
+		}
+	}
+	// The hard task must show a larger gap than the easy one (the
+	// Table V trend: 1.2pp on MNIST → 11.6pp on ImageNet).
+	if rows[2].Gap() <= rows[0].Gap() {
+		t.Errorf("gap did not widen: easy %.1fpp, hard %.1fpp", rows[0].Gap(), rows[2].Gap())
+	}
+}
+
+func TestNewMLPPanicsOnShortSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewMLP(workload.NewRNG(1), []int{5}, false)
+}

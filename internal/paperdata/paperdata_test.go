@@ -1,0 +1,95 @@
+package paperdata
+
+import "testing"
+
+// The paper-data constants feed the harness's measured-vs-paper columns;
+// these tests pin the prose-exact anchors so accidental edits are caught.
+
+func TestFig7ProseAnchors(t *testing.T) {
+	rows := map[string]Fig7Row{}
+	for _, r := range Fig7 {
+		rows[r.Op] = r
+	}
+	if len(Fig7) != 8 {
+		t.Fatalf("Fig7 has %d rows, Table IV has 8 operators", len(Fig7))
+	}
+	// conv2.1: "both BitFlow and unoptimized binary kernel achieve 10×".
+	if r := rows["conv2.1"]; r.Unoptimized != 10 || r.BitFlow != 10 {
+		t.Errorf("conv2.1 anchors %v", r)
+	}
+	// conv3.1: "1.4× faster than unoptimized … and 14× over the baseline".
+	if r := rows["conv3.1"]; r.BitFlow != 14 {
+		t.Errorf("conv3.1 anchor %v", r)
+	}
+	// fc: "approximately 50× acceleration over float-value operators".
+	if r := rows["fc6"]; r.BitFlow < 45 || r.BitFlow > 55 {
+		t.Errorf("fc6 anchor %v", r)
+	}
+	// Vector gains must be ≥ 1 everywhere (vectorization never hurts in
+	// the paper's data).
+	for _, r := range Fig7 {
+		if r.BitFlow < r.Unoptimized {
+			t.Errorf("%s: BitFlow %v below unoptimized %v", r.Op, r.BitFlow, r.Unoptimized)
+		}
+	}
+}
+
+func TestFig9ProseAnchors(t *testing.T) {
+	for _, r := range Fig9 {
+		if r.Op == "conv2.1" {
+			// "493× acceleration over the float-value baseline".
+			if r.Thread64 != 493 {
+				t.Errorf("conv2.1 64t anchor %v", r.Thread64)
+			}
+			// "49.3× acceleration over single-core": 493/10 with the 1t
+			// chart read.
+			if self := r.Thread64 / r.Thread1; self < 40 || self > 60 {
+				t.Errorf("conv2.1 self-scaling %v vs prose %v", self, Fig9Conv21SelfScaling)
+			}
+		}
+		// Acceleration must be monotone in threads for every operator.
+		if !(r.Thread1 <= r.Thread4 && r.Thread4 <= r.Thread16 && r.Thread16 <= r.Thread64) {
+			t.Errorf("%s: non-monotone thread ladder %+v", r.Op, r)
+		}
+	}
+}
+
+func TestFig11ExactNumbers(t *testing.T) {
+	if len(Fig11) != 2 {
+		t.Fatal("Fig11 needs VGG16 and VGG19")
+	}
+	v16, v19 := Fig11[0], Fig11[1]
+	if v16.GTX1080 != 12.87 || v16.I7 != 16.10 || v16.XeonPhi != 11.82 {
+		t.Errorf("VGG16 row %+v", v16)
+	}
+	if v19.GTX1080 != 14.92 || v19.I7 != 18.96 || v19.XeonPhi != 13.68 {
+		t.Errorf("VGG19 row %+v", v19)
+	}
+	// The headline speedups must match the raw numbers: 12.87/11.82 ≈ 1.089.
+	if r := v16.GTX1080 / v16.XeonPhi; r < Fig11PhiSpeedupVGG16-0.01 || r > Fig11PhiSpeedupVGG16+0.01 {
+		t.Errorf("VGG16 headline %v vs rows %v", Fig11PhiSpeedupVGG16, r)
+	}
+	if r := v19.GTX1080 / v19.XeonPhi; r < Fig11PhiSpeedupVGG19-0.01 || r > Fig11PhiSpeedupVGG19+0.01 {
+		t.Errorf("VGG19 headline %v vs rows %v", Fig11PhiSpeedupVGG19, r)
+	}
+}
+
+func TestTableVAnchors(t *testing.T) {
+	if len(TableV) != 3 {
+		t.Fatal("Table V has three datasets")
+	}
+	prevGap := -1.0
+	for _, r := range TableV {
+		if r.Binarized >= r.FullPrecision {
+			t.Errorf("%s: binarized above full precision", r.Dataset)
+		}
+		gap := r.FullPrecision - r.Binarized
+		if gap <= prevGap {
+			t.Errorf("%s: gap %v does not widen (prev %v)", r.Dataset, gap, prevGap)
+		}
+		prevGap = gap
+	}
+	if TableVFullPrecisionMB/TableVBinarizedMB < 30 {
+		t.Error("model size ratio should be ≈32×")
+	}
+}

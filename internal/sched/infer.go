@@ -1,0 +1,79 @@
+package sched
+
+import "fmt"
+
+// ConvShape is the inferred geometry of one convolution operator — the
+// output of the scheduler's shape inferer ("calculates the output
+// dimensions of each convolution operator in a neural network given the
+// input size and filter sizes", paper §III-B).
+type ConvShape struct {
+	InH, InW, InC          int
+	K, KH, KW, Stride, Pad int
+	OutH, OutW, OutC       int
+}
+
+// InferConv validates a convolution configuration and computes its output
+// dimensions.
+func InferConv(inH, inW, inC, k, kh, kw, stride, pad int) (ConvShape, error) {
+	s := ConvShape{InH: inH, InW: inW, InC: inC, K: k, KH: kh, KW: kw, Stride: stride, Pad: pad}
+	switch {
+	case inH <= 0 || inW <= 0 || inC <= 0:
+		return s, fmt.Errorf("sched: conv input %dx%dx%d must be positive", inH, inW, inC)
+	case k <= 0:
+		return s, fmt.Errorf("sched: conv needs K > 0, got %d", k)
+	case kh <= 0 || kw <= 0:
+		return s, fmt.Errorf("sched: conv window %dx%d must be positive", kh, kw)
+	case stride <= 0:
+		return s, fmt.Errorf("sched: conv stride %d must be positive", stride)
+	case pad < 0:
+		return s, fmt.Errorf("sched: conv pad %d must be non-negative", pad)
+	case inH+2*pad < kh || inW+2*pad < kw:
+		return s, fmt.Errorf("sched: conv window %dx%d larger than padded input %dx%d",
+			kh, kw, inH+2*pad, inW+2*pad)
+	}
+	s.OutH = (inH+2*pad-kh)/stride + 1
+	s.OutW = (inW+2*pad-kw)/stride + 1
+	s.OutC = k
+	return s, nil
+}
+
+// PoolShape is the inferred geometry of one max-pool operator.
+type PoolShape struct {
+	InH, InW, InC    int
+	KH, KW, Stride   int
+	OutH, OutW, OutC int
+}
+
+// InferPool validates a pooling configuration and computes its output
+// dimensions. Pooling never pads (VGG pools are exact 2×2/2 windows).
+func InferPool(inH, inW, inC, kh, kw, stride int) (PoolShape, error) {
+	s := PoolShape{InH: inH, InW: inW, InC: inC, KH: kh, KW: kw, Stride: stride}
+	switch {
+	case inH <= 0 || inW <= 0 || inC <= 0:
+		return s, fmt.Errorf("sched: pool input %dx%dx%d must be positive", inH, inW, inC)
+	case kh <= 0 || kw <= 0:
+		return s, fmt.Errorf("sched: pool window %dx%d must be positive", kh, kw)
+	case stride <= 0:
+		return s, fmt.Errorf("sched: pool stride %d must be positive", stride)
+	case inH < kh || inW < kw:
+		return s, fmt.Errorf("sched: pool window %dx%d larger than input %dx%d", kh, kw, inH, inW)
+	}
+	s.OutH = (inH-kh)/stride + 1
+	s.OutW = (inW-kw)/stride + 1
+	s.OutC = inC
+	return s, nil
+}
+
+// FCShape is the inferred geometry of one fully connected operator
+// (input 1×N, weight N×K).
+type FCShape struct {
+	N, K int
+}
+
+// InferFC validates a fully connected configuration.
+func InferFC(n, k int) (FCShape, error) {
+	if n <= 0 || k <= 0 {
+		return FCShape{}, fmt.Errorf("sched: fc needs N, K > 0, got N=%d K=%d", n, k)
+	}
+	return FCShape{N: n, K: k}, nil
+}

@@ -1,0 +1,141 @@
+// Package serve exposes a compiled BitFlow network over HTTP — the
+// "deployment in practical applications" the paper's stand-alone engine
+// targets (§IV). The server owns a pool of network clones (Infer is not
+// concurrency-safe on one instance) and serves:
+//
+//	GET  /healthz  → 200 "ok"
+//	GET  /model    → model metadata (name, input dims, classes, sizes)
+//	POST /infer    → {"data":[...]} (NHWC floats) → logits + argmax
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"bitflow/internal/graph"
+	"bitflow/internal/tensor"
+)
+
+// Server wraps a network with an HTTP handler.
+type Server struct {
+	meta Meta
+	pool chan *graph.Network
+}
+
+// Meta is the /model response.
+type Meta struct {
+	Name            string  `json:"name"`
+	InputH          int     `json:"input_h"`
+	InputW          int     `json:"input_w"`
+	InputC          int     `json:"input_c"`
+	Classes         int     `json:"classes"`
+	Layers          int     `json:"layers"`
+	Weights         int64   `json:"weights"`
+	PackedBytes     int64   `json:"packed_bytes"`
+	CompressionRate float64 `json:"compression"`
+	Replicas        int     `json:"replicas"`
+}
+
+// InferRequest is the /infer request body.
+type InferRequest struct {
+	// Data is the NHWC-flattened input, length InputH*InputW*InputC.
+	Data []float32 `json:"data"`
+}
+
+// InferResponse is the /infer response body.
+type InferResponse struct {
+	Logits  []float32 `json:"logits"`
+	Class   int       `json:"class"`
+	Elapsed string    `json:"elapsed"`
+}
+
+// New builds a server around net with `replicas` clones for concurrent
+// requests (minimum 1).
+func New(net *graph.Network, replicas int) *Server {
+	if replicas < 1 {
+		replicas = 1
+	}
+	ms := net.ModelSize()
+	s := &Server{
+		meta: Meta{
+			Name:   net.Name,
+			InputH: net.InH, InputW: net.InW, InputC: net.InC,
+			Classes:         net.Classes,
+			Layers:          len(net.Layers()),
+			Weights:         ms.Weights,
+			PackedBytes:     ms.BinarizedBytes,
+			CompressionRate: ms.Compression(),
+			Replicas:        replicas,
+		},
+		pool: make(chan *graph.Network, replicas),
+	}
+	s.pool <- net
+	for i := 1; i < replicas; i++ {
+		s.pool <- net.Clone()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/model", s.handleModel)
+	mux.HandleFunc("/infer", s.handleInfer)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.meta)
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req InferRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	want := s.meta.InputH * s.meta.InputW * s.meta.InputC
+	if len(req.Data) != want {
+		http.Error(w, fmt.Sprintf("input has %d values, model wants %d (%dx%dx%d NHWC)",
+			len(req.Data), want, s.meta.InputH, s.meta.InputW, s.meta.InputC), http.StatusBadRequest)
+		return
+	}
+	x := tensor.FromSlice(s.meta.InputH, s.meta.InputW, s.meta.InputC, req.Data)
+
+	net := <-s.pool
+	t0 := time.Now()
+	logits := net.Infer(x)
+	elapsed := time.Since(t0)
+	s.pool <- net
+
+	best := 0
+	for i, v := range logits {
+		if v > logits[best] {
+			best = i
+		}
+	}
+	writeJSON(w, http.StatusOK, InferResponse{
+		Logits:  logits,
+		Class:   best,
+		Elapsed: elapsed.String(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

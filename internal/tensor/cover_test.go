@@ -1,0 +1,118 @@
+package tensor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFilterCloneSignPad(t *testing.T) {
+	f := FilterFromSlice(1, 1, 2, 2, []float32{0.5, -0.5, 0, -2})
+	c := f.Clone()
+	c.Data[0] = 9
+	if f.Data[0] != 0.5 {
+		t.Error("Clone shares storage")
+	}
+	s := f.Sign()
+	want := []float32{1, -1, 1, -1}
+	for i, w := range want {
+		if s.Data[i] != w {
+			t.Errorf("Sign[%d] = %v want %v", i, s.Data[i], w)
+		}
+	}
+	p := f.PadChannels(4, -1)
+	if p.C != 4 || p.At(0, 0, 0, 3) != -1 || p.At(0, 0, 0, 0) != 0.5 {
+		t.Error("PadChannels wrong")
+	}
+	if q := f.PadChannels(2, 0); !strings.Contains(q.String(), "Filter") {
+		t.Error("PadChannels identity / String wrong")
+	}
+}
+
+func TestFilterPadChannelsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewFilter(1, 1, 1, 4).PadChannels(2, 0)
+}
+
+func TestMatrixCloneSignString(t *testing.T) {
+	m := MatrixFromSlice(1, 3, []float32{1, -2, 0})
+	c := m.Clone()
+	c.Data[0] = 5
+	if m.Data[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+	s := m.Sign()
+	if s.Data[0] != 1 || s.Data[1] != -1 || s.Data[2] != 1 {
+		t.Errorf("Sign = %v", s.Data)
+	}
+	if !strings.Contains(m.String(), "1x3") {
+		t.Errorf("String %q", m.String())
+	}
+	row := m.Row(0)
+	if len(row) != 3 || row[1] != -2 {
+		t.Error("Row wrong")
+	}
+}
+
+func TestMatrixFromSlicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MatrixFromSlice(2, 2, make([]float32, 3))
+}
+
+func TestTensorZeroFillString(t *testing.T) {
+	x := New(1, 2, 2)
+	x.Fill(3)
+	if x.Data[3] != 3 {
+		t.Error("Fill failed")
+	}
+	x.Zero()
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+	if !strings.Contains(x.String(), "1x2x2") {
+		t.Errorf("String %q", x.String())
+	}
+}
+
+func TestMaxAbsDiffPanicsOnShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	New(1, 1, 1).MaxAbsDiff(New(1, 1, 2))
+}
+
+func TestFromNCHWPanicsOnLength(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"FromNCHW":       func() { FromNCHW(2, 2, 2, make([]float32, 7)) },
+		"FilterFromKCHW": func() { FilterFromKCHW(1, 2, 2, 2, make([]float32, 7)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFilterFromSlicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	FilterFromSlice(1, 1, 1, 2, make([]float32, 3))
+}

@@ -1,0 +1,95 @@
+package tensor
+
+import "fmt"
+
+// Filter is a bank of K convolution filters of spatial size KH×KW over C
+// input channels (paper §II-B: W_{k,c,i,j}). Storage is K-major with each
+// filter itself in HWC order so that the channel dimension is innermost,
+// mirroring the activation layout and making channel-wise bit-packing a
+// contiguous walk: element (k, i, j, c) lives at ((k*KH+i)*KW+j)*C + c.
+type Filter struct {
+	K, KH, KW, C int
+	Data         []float32
+}
+
+// NewFilter allocates a zeroed filter bank.
+func NewFilter(k, kh, kw, c int) *Filter {
+	if k < 0 || kh < 0 || kw < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: negative filter dimension %dx%dx%dx%d", k, kh, kw, c))
+	}
+	return &Filter{K: k, KH: kh, KW: kw, C: c, Data: make([]float32, k*kh*kw*c)}
+}
+
+// FilterFromSlice wraps data (length must be k*kh*kw*c) without copying.
+func FilterFromSlice(k, kh, kw, c int, data []float32) *Filter {
+	if len(data) != k*kh*kw*c {
+		panic(fmt.Sprintf("tensor: FilterFromSlice length %d != %d*%d*%d*%d", len(data), k, kh, kw, c))
+	}
+	return &Filter{K: k, KH: kh, KW: kw, C: c, Data: data}
+}
+
+// At returns element (k, i, j, c).
+func (f *Filter) At(k, i, j, c int) float32 {
+	return f.Data[((k*f.KH+i)*f.KW+j)*f.C+c]
+}
+
+// Set assigns element (k, i, j, c).
+func (f *Filter) Set(k, i, j, c int, v float32) {
+	f.Data[((k*f.KH+i)*f.KW+j)*f.C+c] = v
+}
+
+// Tap returns the C-length channel slice of filter k at spatial tap (i, j).
+func (f *Filter) Tap(k, i, j int) []float32 {
+	off := ((k*f.KH+i)*f.KW + j) * f.C
+	return f.Data[off : off+f.C : off+f.C]
+}
+
+// Clone returns a deep copy.
+func (f *Filter) Clone() *Filter {
+	out := NewFilter(f.K, f.KH, f.KW, f.C)
+	copy(out.Data, f.Data)
+	return out
+}
+
+// Sign returns a new filter bank with sign(x) applied elementwise.
+func (f *Filter) Sign() *Filter {
+	out := NewFilter(f.K, f.KH, f.KW, f.C)
+	for i, v := range f.Data {
+		if v >= 0 {
+			out.Data[i] = 1
+		} else {
+			out.Data[i] = -1
+		}
+	}
+	return out
+}
+
+// PadChannels returns a new filter bank over cTo channels with the
+// original weights copied and new channels set to pad.
+func (f *Filter) PadChannels(cTo int, pad float32) *Filter {
+	if cTo < f.C {
+		panic(fmt.Sprintf("tensor: Filter.PadChannels %d < C=%d", cTo, f.C))
+	}
+	if cTo == f.C {
+		return f.Clone()
+	}
+	out := NewFilter(f.K, f.KH, f.KW, cTo)
+	for k := 0; k < f.K; k++ {
+		for i := 0; i < f.KH; i++ {
+			for j := 0; j < f.KW; j++ {
+				src := f.Tap(k, i, j)
+				dst := out.Tap(k, i, j)
+				copy(dst, src)
+				for c := f.C; c < cTo; c++ {
+					dst[c] = pad
+				}
+			}
+		}
+	}
+	return out
+}
+
+// String summarizes the filter shape.
+func (f *Filter) String() string {
+	return fmt.Sprintf("Filter(K=%d %dx%dx%d)", f.K, f.KH, f.KW, f.C)
+}

@@ -1,0 +1,175 @@
+// Package tensor provides dense float32 tensors in the NHWC ("locality
+// aware") layout used throughout BitFlow, plus matrices for fully
+// connected operators.
+//
+// BitFlow targets low-latency inference with batch = 1 (paper §III-B), so
+// the feature-map type carries H, W and C dimensions only; the batch
+// dimension is implicit and always 1. Elements are stored row-major with
+// interleaved channels: element (h, w, c) lives at linear position
+// (h*W+w)*C + c, exactly the layout of paper §III-B ("A is stored in
+// memory using row-major order with interleaved channels").
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense float32 feature map in NHWC layout with batch 1.
+// The zero value is an empty tensor; use New to allocate.
+type Tensor struct {
+	H, W, C int
+	// Data holds H*W*C values; index (h*W+w)*C + c.
+	Data []float32
+}
+
+// New allocates a zeroed H×W×C tensor.
+func New(h, w, c int) *Tensor {
+	if h < 0 || w < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %dx%dx%d", h, w, c))
+	}
+	return &Tensor{H: h, W: w, C: c, Data: make([]float32, h*w*c)}
+}
+
+// FromSlice wraps data (length must be h*w*c) without copying.
+func FromSlice(h, w, c int, data []float32) *Tensor {
+	if len(data) != h*w*c {
+		panic(fmt.Sprintf("tensor: FromSlice length %d != %d*%d*%d", len(data), h, w, c))
+	}
+	return &Tensor{H: h, W: w, C: c, Data: data}
+}
+
+// At returns the element at (h, w, c).
+func (t *Tensor) At(h, w, c int) float32 {
+	return t.Data[(h*t.W+w)*t.C+c]
+}
+
+// Set assigns the element at (h, w, c).
+func (t *Tensor) Set(h, w, c int, v float32) {
+	t.Data[(h*t.W+w)*t.C+c] = v
+}
+
+// Pixel returns the C-length channel slice of pixel (h, w); the slice
+// aliases the tensor's storage.
+func (t *Tensor) Pixel(h, w int) []float32 {
+	off := (h*t.W + w) * t.C
+	return t.Data[off : off+t.C : off+t.C]
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return t.H * t.W * t.C }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := New(t.H, t.W, t.C)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	clear(t.Data)
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// SameShape reports whether t and u have identical dimensions.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	return t.H == u.H && t.W == u.W && t.C == u.C
+}
+
+// String summarizes the tensor shape (not its contents).
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor(%dx%dx%d)", t.H, t.W, t.C)
+}
+
+// Sign returns a new tensor with the paper's activation function
+// (Equation 3): +1 where x >= 0, −1 where x < 0.
+func (t *Tensor) Sign() *Tensor {
+	out := New(t.H, t.W, t.C)
+	for i, v := range t.Data {
+		if v >= 0 {
+			out.Data[i] = 1
+		} else {
+			out.Data[i] = -1
+		}
+	}
+	return out
+}
+
+// PadSpatial returns a new tensor of shape (H+2p)×(W+2p)×C with t copied
+// into the interior and the margin filled with pad. BNN spatial padding
+// pads bit value 0, i.e. feature value −1; float baselines pad 0.
+func (t *Tensor) PadSpatial(p int, pad float32) *Tensor {
+	if p == 0 {
+		return t.Clone()
+	}
+	out := New(t.H+2*p, t.W+2*p, t.C)
+	if pad != 0 {
+		out.Fill(pad)
+	}
+	for h := 0; h < t.H; h++ {
+		src := t.Data[h*t.W*t.C : (h+1)*t.W*t.C]
+		dstOff := ((h+p)*out.W + p) * out.C
+		copy(out.Data[dstOff:dstOff+len(src)], src)
+	}
+	return out
+}
+
+// PadChannels returns a new tensor of shape H×W×cTo with the original
+// channels copied and channels [C, cTo) filled with pad.
+func (t *Tensor) PadChannels(cTo int, pad float32) *Tensor {
+	if cTo < t.C {
+		panic(fmt.Sprintf("tensor: PadChannels %d < C=%d", cTo, t.C))
+	}
+	if cTo == t.C {
+		return t.Clone()
+	}
+	out := New(t.H, t.W, cTo)
+	for h := 0; h < t.H; h++ {
+		for w := 0; w < t.W; w++ {
+			src := t.Pixel(h, w)
+			dst := out.Pixel(h, w)
+			copy(dst, src)
+			for c := t.C; c < cTo; c++ {
+				dst[c] = pad
+			}
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between
+// t and u, which must have the same shape.
+func (t *Tensor) MaxAbsDiff(u *Tensor) float64 {
+	if !t.SameShape(u) {
+		panic("tensor: MaxAbsDiff shape mismatch")
+	}
+	var m float64
+	for i := range t.Data {
+		d := math.Abs(float64(t.Data[i]) - float64(u.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Equal reports exact elementwise equality of t and u (same shape, same
+// bits, with NaN != NaN as usual for floats).
+func (t *Tensor) Equal(u *Tensor) bool {
+	if !t.SameShape(u) {
+		return false
+	}
+	for i := range t.Data {
+		if t.Data[i] != u.Data[i] {
+			return false
+		}
+	}
+	return true
+}

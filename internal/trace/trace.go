@@ -1,0 +1,84 @@
+// Package trace exports per-layer inference timelines in the Chrome
+// trace-event format (chrome://tracing, Perfetto), so the network-level
+// behaviour — which layers dominate, how passes vary — can be inspected
+// visually. One trace "thread" per inference pass; one complete event
+// per layer.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bitflow/internal/graph"
+)
+
+// event is one Chrome trace-event entry ("X" = complete event).
+type event struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// Writer accumulates passes and serializes them on Flush.
+type Writer struct {
+	name   string
+	events []event
+	passes int
+	cursor float64 // running timestamp in µs
+}
+
+// NewWriter starts a trace for the given network name.
+func NewWriter(name string) *Writer { return &Writer{name: name} }
+
+// AddPass appends one inference pass's layer timings as a contiguous
+// span on its own trace thread.
+func (w *Writer) AddPass(timings []graph.LayerTiming) {
+	w.passes++
+	tid := w.passes
+	start := w.cursor
+	ts := start
+	for _, lt := range timings {
+		dur := float64(lt.Duration.Microseconds())
+		if dur <= 0 {
+			dur = 0.1 // chrome drops zero-width events
+		}
+		args := map[string]string{"kind": lt.Kind}
+		if lt.Units > 0 {
+			args["parallel_units"] = fmt.Sprint(lt.Units)
+		}
+		w.events = append(w.events, event{
+			Name: lt.Name,
+			Cat:  lt.Kind,
+			Ph:   "X",
+			Ts:   ts,
+			Dur:  dur,
+			Pid:  1,
+			Tid:  tid,
+			Args: args,
+		})
+		ts += dur
+	}
+	w.cursor = ts
+}
+
+// Passes reports how many passes were recorded.
+func (w *Writer) Passes() int { return w.passes }
+
+// Flush writes the trace JSON ({"traceEvents": [...]}) to out.
+func (w *Writer) Flush(out io.Writer) error {
+	doc := struct {
+		TraceEvents []event           `json:"traceEvents"`
+		Metadata    map[string]string `json:"metadata"`
+	}{
+		TraceEvents: w.events,
+		Metadata:    map[string]string{"network": w.name, "tool": "bitflow"},
+	}
+	enc := json.NewEncoder(out)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"bitflow/internal/graph"
+)
+
+func sampleTimings() []graph.LayerTiming {
+	return []graph.LayerTiming{
+		{Name: "input", Kind: "pack", Duration: 100 * time.Microsecond},
+		{Name: "conv1", Kind: "conv", Duration: 2 * time.Millisecond, Units: 1024},
+		{Name: "fc1", Kind: "fc", Duration: 0, Units: 10}, // zero-width layer
+	}
+}
+
+func TestTraceRoundtrip(t *testing.T) {
+	w := NewWriter("demo")
+	w.AddPass(sampleTimings())
+	w.AddPass(sampleTimings())
+	if w.Passes() != 2 {
+		t.Fatalf("passes %d", w.Passes())
+	}
+	var buf bytes.Buffer
+	if err := w.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		Metadata map[string]string `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("%d events, want 6", len(doc.TraceEvents))
+	}
+	if doc.Metadata["network"] != "demo" {
+		t.Error("metadata lost")
+	}
+	// Events within one pass are contiguous and monotone.
+	prevEnd := -1.0
+	for _, e := range doc.TraceEvents[:3] {
+		if e.Ph != "X" {
+			t.Errorf("phase %q", e.Ph)
+		}
+		if e.Ts < prevEnd {
+			t.Errorf("overlapping events: ts %v < prev end %v", e.Ts, prevEnd)
+		}
+		prevEnd = e.Ts + e.Dur
+		if e.Dur <= 0 {
+			t.Error("zero-width event leaked through")
+		}
+	}
+	// Pass threads are distinct.
+	if doc.TraceEvents[0].Tid == doc.TraceEvents[3].Tid {
+		t.Error("passes share a thread id")
+	}
+	// Units propagate.
+	if doc.TraceEvents[1].Args["parallel_units"] != "1024" {
+		t.Errorf("args %v", doc.TraceEvents[1].Args)
+	}
+}
+
+func TestEmptyTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewWriter("empty").Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package workload
+
+import "bitflow/internal/tensor"
+
+// RandTensor returns an H×W×C tensor with values drawn uniformly from
+// [-1, 1).
+func RandTensor(r *RNG, h, w, c int) *tensor.Tensor {
+	t := tensor.New(h, w, c)
+	for i := range t.Data {
+		t.Data[i] = 2*r.Float32() - 1
+	}
+	return t
+}
+
+// PM1Tensor returns an H×W×C tensor with values drawn from {−1, +1}.
+func PM1Tensor(r *RNG, h, w, c int) *tensor.Tensor {
+	t := tensor.New(h, w, c)
+	for i := range t.Data {
+		t.Data[i] = r.PM1()
+	}
+	return t
+}
+
+// RandFilter returns a K×KH×KW×C filter bank with values in [-1, 1).
+func RandFilter(r *RNG, k, kh, kw, c int) *tensor.Filter {
+	f := tensor.NewFilter(k, kh, kw, c)
+	for i := range f.Data {
+		f.Data[i] = 2*r.Float32() - 1
+	}
+	return f
+}
+
+// PM1Filter returns a K×KH×KW×C filter bank with values from {−1, +1}.
+func PM1Filter(r *RNG, k, kh, kw, c int) *tensor.Filter {
+	f := tensor.NewFilter(k, kh, kw, c)
+	for i := range f.Data {
+		f.Data[i] = r.PM1()
+	}
+	return f
+}
+
+// RandMatrix returns an r×c matrix with values in [-1, 1).
+func RandMatrix(rng *RNG, rows, cols int) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 2*rng.Float32() - 1
+	}
+	return m
+}
+
+// PM1Matrix returns an r×c matrix with values from {−1, +1}.
+func PM1Matrix(rng *RNG, rows, cols int) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.PM1()
+	}
+	return m
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGeneratorsShapesAndRanges(t *testing.T) {
+	r := NewRNG(20)
+	x := RandTensor(r, 3, 4, 5)
+	if x.H != 3 || x.W != 4 || x.C != 5 {
+		t.Fatal("RandTensor shape")
+	}
+	for _, v := range x.Data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("RandTensor value %v out of [-1,1)", v)
+		}
+	}
+	f := RandFilter(r, 2, 3, 3, 4)
+	if f.K != 2 || f.C != 4 {
+		t.Fatal("RandFilter shape")
+	}
+	pf := PM1Filter(r, 2, 3, 3, 4)
+	for _, v := range pf.Data {
+		if v != 1 && v != -1 {
+			t.Fatalf("PM1Filter value %v", v)
+		}
+	}
+	m := RandMatrix(r, 3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatal("RandMatrix shape")
+	}
+	pm := PM1Matrix(r, 3, 4)
+	for _, v := range pm.Data {
+		if v != 1 && v != -1 {
+			t.Fatalf("PM1Matrix value %v", v)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := RandTensor(NewRNG(21), 4, 4, 4)
+	b := RandTensor(NewRNG(21), 4, 4, 4)
+	if !a.Equal(b) {
+		t.Error("RandTensor not deterministic")
+	}
+}
+
+func TestOpConfigString(t *testing.T) {
+	conv, _ := FindOp("conv2.1")
+	s := conv.String()
+	for _, want := range []string{"conv2.1", "112x112x64", "K=128"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("conv String %q missing %q", s, want)
+		}
+	}
+	fc, _ := FindOp("fc6")
+	if !strings.Contains(fc.String(), "N=25088") {
+		t.Errorf("fc String %q", fc.String())
+	}
+	pool, _ := FindOp("pool4")
+	if !strings.Contains(pool.String(), "pool") {
+		t.Errorf("pool String %q", pool.String())
+	}
+}
+
+func TestOutCForFC(t *testing.T) {
+	fc, _ := FindOp("fc7")
+	if fc.OutC() != 4096 {
+		t.Errorf("fc7 OutC %d", fc.OutC())
+	}
+}

@@ -1,0 +1,60 @@
+// Package workload provides deterministic workload generation for tests,
+// benchmarks and examples: a seedable SplitMix64 RNG, random ±1 and float
+// tensors, and the paper's Table IV benchmark operator configurations.
+package workload
+
+import "math"
+
+// RNG is a SplitMix64 pseudo-random generator. It is deterministic,
+// allocation-free and fast, so benchmark inputs are reproducible across
+// runs and machines without importing math/rand state.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float32 returns a pseudo-random float32 in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / float32(1<<24)
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Norm returns a pseudo-random sample from the standard normal
+// distribution (Box–Muller).
+func (r *RNG) Norm() float64 {
+	// Rejection-free Box–Muller; u1 in (0,1] to avoid log(0).
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// PM1 returns a pseudo-random ±1 value.
+func (r *RNG) PM1() float32 {
+	if r.Uint64()&1 == 0 {
+		return -1
+	}
+	return 1
+}
