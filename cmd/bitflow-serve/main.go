@@ -4,15 +4,23 @@
 //	bitflow-serve -load model.bflw -addr :8080 -replicas 4
 //	curl -s localhost:8080/model
 //	curl -s -X POST localhost:8080/infer -d '{"data":[...]}'
+//	curl -s localhost:8080/statusz
 //
 // Without -load it serves a demo TinyVGG with random weights.
+//
+// The server sheds load once -max-queue requests are waiting (429) or a
+// request's -request-timeout expires in the queue (503), and drains
+// in-flight requests for -shutdown-grace after SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"bitflow/internal/bench"
 	"bitflow/internal/graph"
@@ -25,6 +33,12 @@ var (
 	flagAddr     = flag.String("addr", ":8080", "listen address")
 	flagReplicas = flag.Int("replicas", bench.PhysicalCores(), "network clones for concurrent requests")
 	flagThreads  = flag.Int("threads", 1, "worker threads per inference")
+
+	flagMaxQueue       = flag.Int("max-queue", 0, "max requests waiting for a replica before shedding with 429 (0 = 4×replicas, min 16)")
+	flagRequestTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline; expired queued requests get 503")
+	flagShutdownGrace  = flag.Duration("shutdown-grace", 15*time.Second, "drain window for in-flight requests after SIGTERM")
+	flagReadTimeout    = flag.Duration("read-timeout", 30*time.Second, "HTTP read deadline")
+	flagIdleTimeout    = flag.Duration("idle-timeout", 120*time.Second, "HTTP keep-alive idle limit")
 )
 
 func main() {
@@ -52,11 +66,31 @@ func main() {
 	}
 	net.Threads = *flagThreads
 
-	srv := serve.New(net, *flagReplicas)
-	fmt.Printf("serving %s (%dx%dx%d → %d classes) on %s with %d replica(s)\n",
-		net.Name, net.InH, net.InW, net.InC, net.Classes, *flagAddr, *flagReplicas)
-	if err := http.ListenAndServe(*flagAddr, srv.Handler()); err != nil {
+	srv := serve.NewWithConfig(net, serve.Config{
+		Replicas:       *flagReplicas,
+		MaxQueue:       *flagMaxQueue,
+		RequestTimeout: *flagRequestTimeout,
+	})
+	if !srv.Ready() {
+		fmt.Fprintln(os.Stderr, "bitflow-serve: warm-up inference failed; serving anyway, /readyz stays 503")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	eff := srv.EffectiveConfig()
+	fmt.Printf("serving %s (%dx%dx%d → %d classes) on %s with %d replica(s), queue %d, deadline %s\n",
+		net.Name, net.InH, net.InW, net.InC, net.Classes, *flagAddr, eff.Replicas,
+		eff.MaxQueue, eff.RequestTimeout)
+	err = srv.ListenAndServe(ctx, serve.HTTPConfig{
+		Addr:          *flagAddr,
+		ReadTimeout:   *flagReadTimeout,
+		IdleTimeout:   *flagIdleTimeout,
+		ShutdownGrace: *flagShutdownGrace,
+	})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "bitflow-serve: %v\n", err)
 		os.Exit(1)
 	}
+	fmt.Println("bitflow-serve: drained, bye")
 }

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"bitflow/internal/sched"
+	"bitflow/internal/tensor"
+	"bitflow/internal/workload"
+)
+
+func checkedTestNet(t *testing.T) *Network {
+	t.Helper()
+	net, err := NewBuilder("chk", 8, 8, 64, sched.Detect()).
+		Conv3x3("c1", 64).
+		Pool("p1", 2, 2, 2).
+		Dense("d1", 4).
+		Build(RandomWeights{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestInferCheckedMatchesInfer(t *testing.T) {
+	net := checkedTestNet(t)
+	x := workload.RandTensor(workload.NewRNG(42), 8, 8, 64)
+	want := net.Infer(x)
+	got, err := net.InferChecked(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("logit count %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("logit %d: checked %v direct %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInferCheckedRejectsBadShape(t *testing.T) {
+	net := checkedTestNet(t)
+
+	for name, x := range map[string]*tensor.Tensor{
+		"nil":          nil,
+		"wrong-h":      tensor.New(4, 8, 64),
+		"wrong-w":      tensor.New(8, 4, 64),
+		"wrong-c":      tensor.New(8, 8, 32),
+		"short-data":   {H: 8, W: 8, C: 64, Data: make([]float32, 7)},
+		"oversized":    tensor.New(16, 16, 64),
+	} {
+		logits, err := net.InferChecked(x)
+		if err == nil {
+			t.Errorf("%s: no error", name)
+		}
+		if logits != nil {
+			t.Errorf("%s: logits returned alongside error", name)
+		}
+		if err != nil && !strings.Contains(err.Error(), "graph:") {
+			t.Errorf("%s: error %q lacks package prefix", name, err)
+		}
+	}
+	if err := net.CheckInput(tensor.New(8, 8, 64)); err != nil {
+		t.Errorf("CheckInput rejected valid shape: %v", err)
+	}
+}
+
+func TestInferStillPanicsOnBadShape(t *testing.T) {
+	// Existing callers rely on the panic contract; InferChecked is the
+	// opt-in error path. Make sure the compat behaviour survived.
+	net := checkedTestNet(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("Infer with wrong shape did not panic")
+		}
+	}()
+	net.Infer(tensor.New(1, 1, 64))
+}

@@ -72,14 +72,46 @@ func (n *Network) Layers() []LayerInfo {
 
 // Infer runs one forward pass on x (shape must match InH×InW×InC) and
 // returns the Classes logits. The returned slice is freshly allocated.
+// Infer panics on a shape mismatch; servers handling untrusted input
+// should call InferChecked instead.
 func (n *Network) Infer(x *tensor.Tensor) []float32 {
+	out, err := n.InferChecked(x)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// CheckInput validates that x matches the network's compiled input shape,
+// returning a descriptive error on mismatch. It never panics.
+func (n *Network) CheckInput(x *tensor.Tensor) error {
+	if x == nil {
+		return fmt.Errorf("graph: nil input, network expects %dx%dx%d", n.InH, n.InW, n.InC)
+	}
+	if x.H != n.InH || x.W != n.InW || x.C != n.InC {
+		return fmt.Errorf("graph: input %v, network expects %dx%dx%d", x, n.InH, n.InW, n.InC)
+	}
+	if len(x.Data) != x.H*x.W*x.C {
+		return fmt.Errorf("graph: input data length %d, shape %v wants %d",
+			len(x.Data), x, x.H*x.W*x.C)
+	}
+	return nil
+}
+
+// InferChecked is Infer with the shape panic converted into a returned
+// error, so untrusted user input can never reach a panic path. A non-nil
+// error means no forward pass ran.
+func (n *Network) InferChecked(x *tensor.Tensor) ([]float32, error) {
+	if err := n.CheckInput(x); err != nil {
+		return nil, err
+	}
 	n.feedInput(x)
 	for _, l := range n.layers {
 		l.forward(n.Threads)
 	}
 	out := make([]float32, len(n.output))
 	copy(out, n.output)
-	return out
+	return out, nil
 }
 
 // LayerTiming records one layer's wall-clock contribution to a timed pass.

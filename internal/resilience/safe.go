@@ -1,0 +1,32 @@
+package resilience
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError wraps a recovered panic value with the goroutine stack at
+// recovery time, so a crashing kernel or graph layer surfaces as a typed,
+// loggable error instead of killing the process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("recovered panic: %v", e.Value)
+}
+
+// Safe runs fn and converts a panic into a *PanicError. A nil return
+// means fn completed normally. Deliberately re-usable outside HTTP: any
+// subsystem calling into the panic-happy graph/bitpack/kernels layers can
+// wrap the call site.
+func Safe(fn func()) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return nil
+}

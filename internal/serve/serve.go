@@ -1,27 +1,96 @@
 // Package serve exposes a compiled BitFlow network over HTTP — the
 // "deployment in practical applications" the paper's stand-alone engine
 // targets (§IV). The server owns a pool of network clones (Infer is not
-// concurrency-safe on one instance) and serves:
+// concurrency-safe on one instance) behind an admission gate, and serves:
 //
-//	GET  /healthz  → 200 "ok"
+//	GET  /healthz  → 200 "ok" (liveness alias, kept for compatibility)
+//	GET  /livez    → 200 while the process is up
+//	GET  /readyz   → 200 after warm-up inference succeeds; 503 while draining
+//	GET  /statusz  → JSON counters: requests, shed, panics, queue, p50/p99
 //	GET  /model    → model metadata (name, input dims, classes, sizes)
 //	POST /infer    → {"data":[...]} (NHWC floats) → logits + argmax
+//
+// Robustness contract: every /infer request either completes within its
+// deadline or fails fast with a typed error — the wait queue is bounded
+// (429 when full, 503 when the deadline expires while queued, both with
+// Retry-After), a panicking replica is recovered and re-cloned so
+// capacity never shrinks, and shutdown drains in-flight requests.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
+	"net"
 	"net/http"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"bitflow/internal/graph"
+	"bitflow/internal/resilience"
 	"bitflow/internal/tensor"
 )
 
-// Server wraps a network with an HTTP handler.
+// Config tunes the serving resilience layer. The zero value of any field
+// selects a sensible default.
+type Config struct {
+	// Replicas is the number of network clones (concurrent inferences).
+	// Minimum 1.
+	Replicas int
+	// MaxQueue bounds how many requests may wait for a free replica
+	// before new arrivals are shed with 429. Default max(16, 4×Replicas).
+	MaxQueue int
+	// RequestTimeout is the per-request deadline covering queue wait.
+	// A request still queued when it expires is shed with 503.
+	// Default 30s.
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas < 1 {
+		c.Replicas = 1
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.Replicas
+		if c.MaxQueue < 16 {
+			c.MaxQueue = 16
+		}
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// backend is the inference surface the pool manages. graph.Network is the
+// production implementation; tests substitute panicking or slow backends
+// to exercise the failure paths.
+type backend interface {
+	infer(x *tensor.Tensor) ([]float32, error)
+	clone() backend
+}
+
+type netBackend struct{ net *graph.Network }
+
+func (b netBackend) infer(x *tensor.Tensor) ([]float32, error) { return b.net.InferChecked(x) }
+func (b netBackend) clone() backend                            { return netBackend{net: b.net.Clone()} }
+
+// Server wraps a network with an HTTP handler plus the resilience layer
+// (admission gate, panic isolation, counters).
 type Server struct {
-	meta Meta
-	pool chan *graph.Network
+	meta    Meta
+	cfg     Config
+	pool    chan backend
+	gate    *resilience.Gate
+	metrics *resilience.Metrics
+	ready   atomic.Bool
+	started time.Time
 }
 
 // Meta is the /model response.
@@ -51,75 +120,238 @@ type InferResponse struct {
 	Elapsed string    `json:"elapsed"`
 }
 
+// ErrorResponse is the body of every non-2xx JSON reply, so clients can
+// switch on a stable machine-readable code rather than parse messages.
+// Codes: bad_request, queue_full, deadline, panic, not_ready.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// Statusz is the /statusz response: identity, capacity, and the failure
+// counters that make robustness measurable.
+type Statusz struct {
+	Model             string              `json:"model"`
+	Uptime            string              `json:"uptime"`
+	UptimeSeconds     float64             `json:"uptime_seconds"`
+	Ready             bool                `json:"ready"`
+	Replicas          int                 `json:"replicas"`
+	ReplicasAvailable int                 `json:"replicas_available"`
+	MaxQueue          int                 `json:"max_queue"`
+	RequestTimeout    string              `json:"request_timeout"`
+	Metrics           resilience.Snapshot `json:"metrics"`
+}
+
 // New builds a server around net with `replicas` clones for concurrent
-// requests (minimum 1).
+// requests (minimum 1) and default admission-control settings.
 func New(net *graph.Network, replicas int) *Server {
-	if replicas < 1 {
-		replicas = 1
-	}
+	return NewWithConfig(net, Config{Replicas: replicas})
+}
+
+// NewWithConfig builds a server with explicit resilience settings and
+// runs the warm-up inference that arms /readyz.
+func NewWithConfig(net *graph.Network, cfg Config) *Server {
 	ms := net.ModelSize()
-	s := &Server{
-		meta: Meta{
-			Name:   net.Name,
-			InputH: net.InH, InputW: net.InW, InputC: net.InC,
-			Classes:         net.Classes,
-			Layers:          len(net.Layers()),
-			Weights:         ms.Weights,
-			PackedBytes:     ms.BinarizedBytes,
-			CompressionRate: ms.Compression(),
-			Replicas:        replicas,
-		},
-		pool: make(chan *graph.Network, replicas),
+	meta := Meta{
+		Name:   net.Name,
+		InputH: net.InH, InputW: net.InW, InputC: net.InC,
+		Classes:         net.Classes,
+		Layers:          len(net.Layers()),
+		Weights:         ms.Weights,
+		PackedBytes:     ms.BinarizedBytes,
+		CompressionRate: ms.Compression(),
+		Replicas:        cfg.withDefaults().Replicas,
 	}
-	s.pool <- net
-	for i := 1; i < replicas; i++ {
-		s.pool <- net.Clone()
+	return newServer(meta, netBackend{net: net}, cfg)
+}
+
+// newServer wires the pool, gate and metrics around the first backend,
+// cloning it out to the configured replica count. Split from
+// NewWithConfig so tests can inject faulty backends.
+func newServer(meta Meta, first backend, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	meta.Replicas = cfg.Replicas
+	s := &Server{
+		meta:    meta,
+		cfg:     cfg,
+		pool:    make(chan backend, cfg.Replicas),
+		gate:    resilience.NewGate(cfg.Replicas, cfg.MaxQueue),
+		metrics: resilience.NewMetrics(1024),
+		started: time.Now(),
+	}
+	s.warmup(first)
+	s.pool <- first
+	for i := 1; i < cfg.Replicas; i++ {
+		s.pool <- first.clone()
 	}
 	return s
 }
 
+// warmup runs one inference on a zero input and arms /readyz only if it
+// completes without error or panic — a server that cannot infer should
+// never receive traffic.
+func (s *Server) warmup(b backend) {
+	x := tensor.New(s.meta.InputH, s.meta.InputW, s.meta.InputC)
+	var inferErr error
+	panicErr := resilience.Safe(func() { _, inferErr = b.infer(x) })
+	s.ready.Store(panicErr == nil && inferErr == nil)
+}
+
+// Metrics exposes the failure counters (shared with /statusz) so embedding
+// code — tests, the bench harness — can assert on them.
+func (s *Server) Metrics() *resilience.Metrics { return s.metrics }
+
+// EffectiveConfig reports the configuration after defaulting — what the
+// server actually runs with, for startup banners and diagnostics.
+func (s *Server) EffectiveConfig() Config { return s.cfg }
+
+// Ready reports whether warm-up succeeded and the server is not draining.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/healthz", s.handleLive)
+	mux.HandleFunc("/livez", s.handleLive)
+	mux.HandleFunc("/readyz", s.handleReady)
+	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/model", s.handleModel)
 	mux.HandleFunc("/infer", s.handleInfer)
 	return mux
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
 
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.QueueDepth.Store(s.gate.Waiting())
+	s.metrics.InFlight.Store(s.gate.Held())
+	writeJSON(w, http.StatusOK, Statusz{
+		Model:             s.meta.Name,
+		Uptime:            time.Since(s.started).Round(time.Millisecond).String(),
+		UptimeSeconds:     time.Since(s.started).Seconds(),
+		Ready:             s.ready.Load(),
+		Replicas:          s.cfg.Replicas,
+		ReplicasAvailable: len(s.pool),
+		MaxQueue:          s.cfg.MaxQueue,
+		RequestTimeout:    s.cfg.RequestTimeout.String(),
+		Metrics:           s.metrics.Snapshot(),
+	})
+}
+
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, http.StatusMethodNotAllowed, "bad_request", "GET required")
+		return
+	}
 	writeJSON(w, http.StatusOK, s.meta)
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, "bad_request", "POST required")
 		return
 	}
+	if ct := r.Header.Get("Content-Type"); ct != "" && !strings.HasPrefix(ct, "application/json") {
+		writeError(w, http.StatusUnsupportedMediaType, "bad_request",
+			fmt.Sprintf("Content-Type %q not supported; use application/json", ct))
+		return
+	}
+	s.metrics.Requests.Add(1)
+
 	var req InferRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err := dec.Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		s.metrics.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad request: %v", err))
 		return
 	}
 	want := s.meta.InputH * s.meta.InputW * s.meta.InputC
 	if len(req.Data) != want {
-		http.Error(w, fmt.Sprintf("input has %d values, model wants %d (%dx%dx%d NHWC)",
-			len(req.Data), want, s.meta.InputH, s.meta.InputW, s.meta.InputC), http.StatusBadRequest)
+		s.metrics.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("input has %d values, model wants %d (%dx%dx%d NHWC)",
+				len(req.Data), want, s.meta.InputH, s.meta.InputW, s.meta.InputC))
+		return
+	}
+	if err := validateFinite(req.Data); err != nil {
+		s.metrics.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
 	x := tensor.FromSlice(s.meta.InputH, s.meta.InputW, s.meta.InputC, req.Data)
 
-	net := <-s.pool
+	// Admission: wait for a replica inside the bounded queue, giving up
+	// when the per-request deadline (or the client) expires.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	if err := s.gate.Acquire(ctx); err != nil {
+		s.metrics.Shed.Add(1)
+		switch {
+		case errors.Is(err, resilience.ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "queue_full",
+				fmt.Sprintf("admission queue full (%d waiting, %d allowed); retry later",
+					s.gate.Waiting(), s.cfg.MaxQueue))
+		default: // deadline expired or client went away while queued
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "deadline",
+				fmt.Sprintf("deadline expired after %s waiting for a replica", s.cfg.RequestTimeout))
+		}
+		return
+	}
+	defer s.gate.Release()
+
+	// The gate guarantees a replica is free: slot holders hold at most one
+	// replica and always return one (re-cloned after a panic) on exit.
+	b := <-s.pool
+	restore := b
+	defer func() { s.pool <- restore }()
+
 	t0 := time.Now()
-	logits := net.Infer(x)
+	var (
+		logits   []float32
+		inferErr error
+	)
+	panicErr := resilience.Safe(func() { logits, inferErr = b.infer(x) })
 	elapsed := time.Since(t0)
-	s.pool <- net
+
+	if panicErr != nil {
+		// The replica's activation buffers may be corrupted mid-forward;
+		// rebuild them from the shared read-only weights so one bad
+		// request can never shrink pool capacity. If even cloning fails,
+		// fall back to returning the original replica — degraded beats
+		// leaking the slot.
+		s.metrics.PanicsRecovered.Add(1)
+		if cloneErr := resilience.Safe(func() { restore = b.clone() }); cloneErr != nil {
+			restore = b
+		}
+		writeError(w, http.StatusInternalServerError, "panic",
+			fmt.Sprintf("inference failed: %v", panicErr))
+		return
+	}
+	if inferErr != nil {
+		s.metrics.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request", inferErr.Error())
+		return
+	}
+
+	s.metrics.OK.Add(1)
+	s.metrics.ObserveLatency(elapsed)
 
 	best := 0
 	for i, v := range logits {
@@ -134,8 +366,95 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// ---------------------------------------------------------------------
+// Lifecycle: a real http.Server with timeouts and graceful shutdown.
+
+// HTTPConfig tunes the HTTP shell around the handler. Zero fields select
+// defaults sized so a healthy request never trips a server timeout.
+type HTTPConfig struct {
+	Addr          string        // listen address, e.g. ":8080"
+	ReadTimeout   time.Duration // full-request read deadline (default 30s)
+	WriteTimeout  time.Duration // response write deadline (default RequestTimeout+30s)
+	IdleTimeout   time.Duration // keep-alive idle limit (default 120s)
+	ShutdownGrace time.Duration // drain window after SIGTERM/ctx-done (default 15s)
+}
+
+func (hc HTTPConfig) withDefaults(reqTimeout time.Duration) HTTPConfig {
+	if hc.ReadTimeout <= 0 {
+		hc.ReadTimeout = 30 * time.Second
+	}
+	if hc.WriteTimeout <= 0 {
+		hc.WriteTimeout = reqTimeout + 30*time.Second
+	}
+	if hc.IdleTimeout <= 0 {
+		hc.IdleTimeout = 120 * time.Second
+	}
+	if hc.ShutdownGrace <= 0 {
+		hc.ShutdownGrace = 15 * time.Second
+	}
+	return hc
+}
+
+// ListenAndServe runs the server until ctx is cancelled (wire ctx to
+// SIGTERM for Kubernetes-style termination), then drains: /readyz starts
+// failing so load balancers stop sending traffic, in-flight requests get
+// ShutdownGrace to finish, and only then does the listener close. Returns
+// nil on a clean drain.
+func (s *Server) ListenAndServe(ctx context.Context, hc HTTPConfig) error {
+	l, err := net.Listen("tcp", hc.Addr)
+	if err != nil {
+		return err
+	}
+	return s.ServeListener(ctx, l, hc)
+}
+
+// ServeListener is ListenAndServe on an existing listener (tests use a
+// 127.0.0.1:0 listener). The listener is closed when serving stops.
+func (s *Server) ServeListener(ctx context.Context, l net.Listener, hc HTTPConfig) error {
+	hc = hc.withDefaults(s.cfg.RequestTimeout)
+	hs := &http.Server{
+		Handler:      s.Handler(),
+		ReadTimeout:  hc.ReadTimeout,
+		WriteTimeout: hc.WriteTimeout,
+		IdleTimeout:  hc.IdleTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		// Flip readiness first so health-checked balancers drain us, then
+		// let in-flight requests finish inside the grace window.
+		s.ready.Store(false)
+		sctx, cancel := context.WithTimeout(context.Background(), hc.ShutdownGrace)
+		defer cancel()
+		err := hs.Shutdown(sctx)
+		<-errc // always http.ErrServerClosed after Shutdown
+		return err
+	}
+}
+
+// validateFinite rejects NaN/±Inf inputs before they reach the binarizer —
+// sign(NaN) would silently turn garbage into a confident prediction.
+// encoding/json already rejects bare NaN/Infinity tokens, so this is
+// defence in depth for future non-JSON ingest paths.
+func validateFinite(data []float32) error {
+	for i, v := range data {
+		if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("input[%d] is %v; inputs must be finite", i, v)
+		}
+	}
+	return nil
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Tier-1 verify recipe (see ROADMAP.md). One command, run it before
+# every commit:
+#
+#   ./verify.sh          # full: build + vet + tests + race on serving layer
+#   ./verify.sh -short   # skips VGG-scale builds and training loops
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test $* ./..."
+go test "$@" ./...
+
+echo "== go test -race ./internal/serve/... ./internal/resilience/..."
+go test -race ./internal/serve/... ./internal/resilience/...
+
+echo "verify: OK"
