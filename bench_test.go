@@ -600,3 +600,52 @@ func benchMultiBit(b *testing.B, bits int) {
 func BenchmarkAblationMultiBit1(b *testing.B) { benchMultiBit(b, 1) }
 func BenchmarkAblationMultiBit2(b *testing.B) { benchMultiBit(b, 2) }
 func BenchmarkAblationMultiBit4(b *testing.B) { benchMultiBit(b, 4) }
+
+// ---------------------------------------------------------------------
+// Micro-batching: per-image cost of the batched forward path (ISSUE:
+// dynamic micro-batching subsystem). ReportMetric exposes ms/image so
+// the amortization of per-kernel-call overhead and filter loads across
+// the batch is directly readable from `go test -bench Batch`.
+
+var (
+	batchNetOnce sync.Once
+	batchNet     *graph.Network
+	batchXs      []*tensor.Tensor
+)
+
+func batchSetup(b *testing.B) {
+	batchNetOnce.Do(func() {
+		var err error
+		if batchNet, err = graph.TinyVGG(detect(), graph.RandomWeights{Seed: benchSeed}); err != nil {
+			b.Fatal(err)
+		}
+		batchNet.EnsureBatch(16)
+		r := workload.NewRNG(benchSeed + 7)
+		for i := 0; i < 16; i++ {
+			batchXs = append(batchXs, workload.RandTensor(r, batchNet.InH, batchNet.InW, batchNet.InC))
+		}
+	})
+}
+
+func benchInferBatch(b *testing.B, size int) {
+	batchSetup(b)
+	xs := batchXs[:size]
+	if _, err := batchNet.InferBatch(xs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := batchNet.InferBatch(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perImage := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(size)
+	b.ReportMetric(perImage/1e6, "ms/image")
+}
+
+func BenchmarkInferBatch1(b *testing.B)  { benchInferBatch(b, 1) }
+func BenchmarkInferBatch2(b *testing.B)  { benchInferBatch(b, 2) }
+func BenchmarkInferBatch4(b *testing.B)  { benchInferBatch(b, 4) }
+func BenchmarkInferBatch8(b *testing.B)  { benchInferBatch(b, 8) }
+func BenchmarkInferBatch16(b *testing.B) { benchInferBatch(b, 16) }

@@ -1,0 +1,287 @@
+// The `batch` subcommand benchmarks the dynamic micro-batching subsystem
+// and emits BENCH_batch.json:
+//
+//  1. infer_batch — graph.InferBatch throughput on TinyVGG for batch
+//     sizes {1,2,4,8,16}: how much the batched forward path amortizes
+//     per-call kernel overhead and filter-word loads.
+//  2. closed_loop — the serving claim: closed-loop clients (concurrency
+//     ≥ 2× replicas) against the replica-pool baseline vs the batcher at
+//     the same client count, reporting images/sec and p50/p99 latency.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bitflow/internal/batch"
+	"bitflow/internal/bench"
+	"bitflow/internal/graph"
+	"bitflow/internal/sched"
+	"bitflow/internal/tensor"
+	"bitflow/internal/workload"
+)
+
+var (
+	flagBatchOut = flag.String("batch-out", "BENCH_batch.json", "output path for the `batch` subcommand report")
+	flagBatchDur = flag.Duration("batch-dur", 3*time.Second, "measurement duration per closed-loop configuration")
+)
+
+type inferBatchRow struct {
+	Batch        int     `json:"batch"`
+	MsPerImage   float64 `json:"ms_per_image"`
+	ImagesPerSec float64 `json:"images_per_sec"`
+	Speedup      float64 `json:"speedup_vs_b1"`
+}
+
+type loopRow struct {
+	Mode         string  `json:"mode"` // "replica-pool" or "batched"
+	MaxBatch     int     `json:"max_batch,omitempty"`
+	WindowMs     float64 `json:"window_ms,omitempty"`
+	Clients      int     `json:"clients"`
+	Replicas     int     `json:"replicas"`
+	ImagesPerSec float64 `json:"images_per_sec"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	// Speedup and P99Ratio compare against the replica-pool baseline at
+	// the same client count (batched rows only).
+	Speedup  float64 `json:"speedup,omitempty"`
+	P99Ratio float64 `json:"p99_ratio,omitempty"`
+}
+
+type batchReport struct {
+	Features    string          `json:"features"`
+	Cores       int             `json:"cores"`
+	Network     string          `json:"network"`
+	DurationSec float64         `json:"closed_loop_duration_sec"`
+	InferBatch  []inferBatchRow `json:"infer_batch"`
+	ClosedLoop  []loopRow       `json:"closed_loop"`
+}
+
+func runBatchBench(feat sched.Features) error {
+	build := func() (*graph.Network, error) {
+		return graph.TinyVGG(feat, graph.RandomWeights{Seed: *flagSeed})
+	}
+	net, err := build()
+	if err != nil {
+		return err
+	}
+	r := workload.NewRNG(*flagSeed + 1)
+	const maxB = 16
+	xs := make([]*tensor.Tensor, maxB)
+	for i := range xs {
+		xs[i] = workload.RandTensor(r, net.InH, net.InW, net.InC)
+	}
+	net.EnsureBatch(maxB)
+
+	rep := batchReport{
+		Features:    fmt.Sprint(feat),
+		Cores:       bench.PhysicalCores(),
+		Network:     net.Name,
+		DurationSec: flagBatchDur.Seconds(),
+	}
+
+	// --- Section 1: raw InferBatch sweep -----------------------------
+	fmt.Println("== InferBatch throughput (TinyVGG) ==")
+	tb := bench.NewTable("batch", "ms/image", "images/s", "speedup")
+	var base float64
+	for _, B := range []int{1, 2, 4, 8, 16} {
+		d := bench.Measure(*flagRuns, 200*time.Millisecond, func() {
+			if _, err := net.InferBatch(xs[:B]); err != nil {
+				panic(err)
+			}
+		})
+		perImg := float64(d) / float64(B) / float64(time.Millisecond)
+		ips := 1000 / perImg
+		if B == 1 {
+			base = perImg
+		}
+		row := inferBatchRow{
+			Batch:        B,
+			MsPerImage:   round2(perImg),
+			ImagesPerSec: round2(ips),
+			Speedup:      round2(base / perImg),
+		}
+		rep.InferBatch = append(rep.InferBatch, row)
+		tb.Row(B, row.MsPerImage, row.ImagesPerSec, fmt.Sprintf("%.2fx", row.Speedup))
+	}
+	tb.Render(os.Stdout)
+	fmt.Println()
+
+	// --- Section 2: closed-loop serving comparison -------------------
+	// Baseline: a pool of sequential replicas, exactly the unbatched
+	// server's inference stage. Batched: the batcher with the same
+	// replica count as workers. Same clients, same duration.
+	const replicas = 2
+	dur := *flagBatchDur
+	if *flagQuick {
+		dur = 800 * time.Millisecond
+	}
+	fmt.Printf("== closed-loop serving: %d replicas, %s per config ==\n", replicas, dur)
+	tl := bench.NewTable("mode", "maxB", "clients", "images/s", "p50", "p99", "speedup", "p99 ratio")
+
+	for _, m := range []int{2, 4, 8, 16} {
+		clients := replicas * m // ≥ 2× replicas, enough to fill batches
+		if clients < 2*replicas {
+			clients = 2 * replicas
+		}
+
+		baseRate, baseP50, baseP99, err := runPoolLoop(build, replicas, clients, xs, dur)
+		if err != nil {
+			return err
+		}
+		rep.ClosedLoop = append(rep.ClosedLoop, loopRow{
+			Mode: "replica-pool", Clients: clients, Replicas: replicas,
+			ImagesPerSec: round2(baseRate), P50Ms: round2(baseP50), P99Ms: round2(baseP99),
+		})
+		tl.Row("replica-pool", "-", clients, round2(baseRate), bench.Ms(msDur(baseP50)), bench.Ms(msDur(baseP99)), "-", "-")
+
+		window := 2 * time.Millisecond
+		rate, p50, p99, err := runBatchedLoop(build, replicas, m, window, clients, xs, dur)
+		if err != nil {
+			return err
+		}
+		row := loopRow{
+			Mode: "batched", MaxBatch: m, WindowMs: float64(window) / float64(time.Millisecond),
+			Clients: clients, Replicas: replicas,
+			ImagesPerSec: round2(rate), P50Ms: round2(p50), P99Ms: round2(p99),
+			Speedup: round2(rate / baseRate), P99Ratio: round2(p99 / baseP99),
+		}
+		rep.ClosedLoop = append(rep.ClosedLoop, row)
+		tl.Row("batched", m, clients, row.ImagesPerSec, bench.Ms(msDur(p50)), bench.Ms(msDur(p99)),
+			fmt.Sprintf("%.2fx", row.Speedup), fmt.Sprintf("%.2fx", row.P99Ratio))
+	}
+	tl.Render(os.Stdout)
+
+	f, err := os.Create(*flagBatchOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", *flagBatchOut)
+	return nil
+}
+
+// runPoolLoop drives `clients` closed-loop clients against a pool of
+// sequential replicas — the unbatched server's inference stage.
+func runPoolLoop(build func() (*graph.Network, error), replicas, clients int, xs []*tensor.Tensor, dur time.Duration) (rate, p50, p99 float64, err error) {
+	first, err := build()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	pool := make(chan *graph.Network, replicas)
+	pool <- first
+	for i := 1; i < replicas; i++ {
+		pool <- first.Clone()
+	}
+	return closedLoop(clients, dur, func(x *tensor.Tensor) error {
+		n := <-pool
+		_, ierr := n.InferChecked(x)
+		pool <- n
+		return ierr
+	}, xs)
+}
+
+// runBatchedLoop drives the same closed loop through a batch.Batcher with
+// `replicas` workers.
+func runBatchedLoop(build func() (*graph.Network, error), replicas, maxBatch int, window time.Duration, clients int, xs []*tensor.Tensor, dur time.Duration) (rate, p50, p99 float64, err error) {
+	b, err := batch.New(batch.Config{
+		Window:   window,
+		MaxBatch: maxBatch,
+		Workers:  replicas,
+		QueueCap: clients * 2,
+		NewRunner: func() (batch.Runner, error) {
+			n, err := build()
+			if err != nil {
+				return nil, err
+			}
+			n.EnsureBatch(maxBatch)
+			return n, nil
+		},
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = b.Close(ctx)
+	}()
+	ctx := context.Background()
+	return closedLoop(clients, dur, func(x *tensor.Tensor) error {
+		_, serr := b.Submit(ctx, x)
+		return serr
+	}, xs)
+}
+
+// closedLoop runs `clients` goroutines issuing back-to-back requests for
+// dur (after a short warm phase) and reports aggregate images/sec plus
+// latency quantiles in milliseconds.
+func closedLoop(clients int, dur time.Duration, do func(*tensor.Tensor) error, xs []*tensor.Tensor) (rate, p50, p99 float64, err error) {
+	var stop atomic.Bool
+	var warm atomic.Bool
+	var count atomic.Int64
+	var firstErr atomic.Value
+	lats := make([][]time.Duration, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			i := c
+			for !stop.Load() {
+				x := xs[i%len(xs)]
+				i++
+				t0 := time.Now()
+				if derr := do(x); derr != nil {
+					firstErr.CompareAndSwap(nil, derr)
+					return
+				}
+				if warm.Load() {
+					lats[c] = append(lats[c], time.Since(t0))
+					count.Add(1)
+				}
+			}
+		}(c)
+	}
+	time.Sleep(dur / 4) // warm phase: fill pipelines, settle schedulers
+	warm.Store(true)
+	t0 := time.Now()
+	time.Sleep(dur)
+	elapsed := time.Since(t0)
+	stop.Store(true)
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return 0, 0, 0, e.(error)
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return 0, 0, 0, fmt.Errorf("closed loop completed no requests")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) float64 {
+		return float64(all[int(p*float64(len(all)-1))]) / float64(time.Millisecond)
+	}
+	return float64(count.Load()) / elapsed.Seconds(), q(0.50), q(0.99), nil
+}
+
+func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }
+
+func msDur(ms float64) time.Duration { return time.Duration(ms * float64(time.Millisecond)) }

@@ -9,6 +9,7 @@
 //	bitflow-bench table5  # accuracy (synthetic tasks) + model size
 //	bitflow-bench ait     # arithmetic-intensity analysis (§III-A)
 //	bitflow-bench sweep   # extension: kernel-tier sweep over channel counts
+//	bitflow-bench batch   # extension: micro-batching throughput → BENCH_batch.json
 //	bitflow-bench all     # everything above
 //
 // Flags:
@@ -38,7 +39,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bitflow-bench [flags] {fig7|fig8|fig9|fig10|fig11|table5|ait|sweep|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: bitflow-bench [flags] {fig7|fig8|fig9|fig10|fig11|table5|ait|sweep|batch|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -72,6 +73,8 @@ func main() {
 		run("ait", runAIT)
 	case "sweep":
 		run("sweep", runSweep)
+	case "batch":
+		run("batch", runBatchBench)
 	case "all":
 		for _, sub := range []struct {
 			name string
@@ -79,7 +82,7 @@ func main() {
 		}{
 			{"ait", runAIT}, {"fig7", runFig7}, {"fig8", runFig8}, {"fig9", runFig9},
 			{"fig10", runFig10}, {"fig11", runFig11}, {"table5", runTable5},
-			{"sweep", runSweep},
+			{"sweep", runSweep}, {"batch", runBatchBench},
 		} {
 			run(sub.name, sub.f)
 		}

@@ -34,6 +34,10 @@ var (
 	flagReplicas = flag.Int("replicas", bench.PhysicalCores(), "network clones for concurrent requests")
 	flagThreads  = flag.Int("threads", 1, "worker threads per inference")
 
+	flagBatch       = flag.Bool("batch", false, "enable dynamic micro-batching (trades up to -batch-window of latency for throughput)")
+	flagBatchWindow = flag.Duration("batch-window", 2*time.Millisecond, "max wait for a batch to fill before dispatching (with -batch)")
+	flagMaxBatch    = flag.Int("max-batch", 8, "max requests coalesced into one forward pass (with -batch)")
+
 	flagMaxQueue       = flag.Int("max-queue", 0, "max requests waiting for a replica before shedding with 429 (0 = 4×replicas, min 16)")
 	flagRequestTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline; expired queued requests get 503")
 	flagShutdownGrace  = flag.Duration("shutdown-grace", 15*time.Second, "drain window for in-flight requests after SIGTERM")
@@ -70,6 +74,9 @@ func main() {
 		Replicas:       *flagReplicas,
 		MaxQueue:       *flagMaxQueue,
 		RequestTimeout: *flagRequestTimeout,
+		Batching:       *flagBatch,
+		BatchWindow:    *flagBatchWindow,
+		MaxBatch:       *flagMaxBatch,
 	})
 	if !srv.Ready() {
 		fmt.Fprintln(os.Stderr, "bitflow-serve: warm-up inference failed; serving anyway, /readyz stays 503")
@@ -82,6 +89,9 @@ func main() {
 	fmt.Printf("serving %s (%dx%dx%d → %d classes) on %s with %d replica(s), queue %d, deadline %s\n",
 		net.Name, net.InH, net.InW, net.InC, net.Classes, *flagAddr, eff.Replicas,
 		eff.MaxQueue, eff.RequestTimeout)
+	if eff.Batching {
+		fmt.Printf("micro-batching on: window %s, max batch %d\n", eff.BatchWindow, eff.MaxBatch)
+	}
 	err = srv.ListenAndServe(ctx, serve.HTTPConfig{
 		Addr:          *flagAddr,
 		ReadTimeout:   *flagReadTimeout,

@@ -1,0 +1,436 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bitflow/internal/resilience"
+	"bitflow/internal/tensor"
+)
+
+// fakeRunner sums each input tensor — cheap, deterministic, and enough to
+// check per-request fan-out. Optional hooks inject panics, errors, and
+// latency.
+type fakeRunner struct {
+	batches   atomic.Int64
+	inflight  atomic.Int64
+	delay     time.Duration
+	panicWhen func(xs []*tensor.Tensor) bool
+	errWhen   func(xs []*tensor.Tensor) error
+}
+
+func (f *fakeRunner) InferBatch(xs []*tensor.Tensor) ([][]float32, error) {
+	if f.inflight.Add(1) != 1 {
+		panic("runner used concurrently")
+	}
+	defer f.inflight.Add(-1)
+	f.batches.Add(1)
+	if f.panicWhen != nil && f.panicWhen(xs) {
+		panic("injected runner panic")
+	}
+	if f.errWhen != nil {
+		if err := f.errWhen(xs); err != nil {
+			return nil, err
+		}
+	}
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	outs := make([][]float32, len(xs))
+	for i, x := range xs {
+		var s float32
+		for _, v := range x.Data {
+			s += v
+		}
+		outs[i] = []float32{s}
+	}
+	return outs, nil
+}
+
+func tens(v float32) *tensor.Tensor {
+	t := tensor.New(1, 1, 2)
+	t.Data[0], t.Data[1] = v, v
+	return t
+}
+
+func newTestBatcher(t *testing.T, cfg Config, r *fakeRunner) *Batcher {
+	t.Helper()
+	if cfg.NewRunner == nil {
+		cfg.NewRunner = func() (Runner, error) { return r, nil }
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = b.Close(ctx)
+	})
+	return b
+}
+
+// TestSubmitFansOutPerRequest checks that concurrent submitters each get
+// their own answer back and that requests actually coalesced into fewer
+// runner invocations than requests.
+func TestSubmitFansOutPerRequest(t *testing.T) {
+	r := &fakeRunner{}
+	b := newTestBatcher(t, Config{Window: 20 * time.Millisecond, MaxBatch: 8, QueueCap: 64}, r)
+	const N = 24
+	var wg sync.WaitGroup
+	errs := make([]error, N)
+	outs := make([][]float32, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = b.Submit(context.Background(), tens(float32(i)))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < N; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if len(outs[i]) != 1 || outs[i][0] != float32(2*i) {
+			t.Fatalf("request %d: got %v, want [%v]", i, outs[i], 2*i)
+		}
+	}
+	if got := r.batches.Load(); got >= N {
+		t.Errorf("no coalescing: %d batches for %d requests", got, N)
+	}
+}
+
+// TestWindowFlushesLoneRequest checks a single request is not held
+// hostage waiting for a full batch.
+func TestWindowFlushesLoneRequest(t *testing.T) {
+	r := &fakeRunner{}
+	m := resilience.NewMetrics(16)
+	b := newTestBatcher(t, Config{Window: 5 * time.Millisecond, MaxBatch: 64, Metrics: m}, r)
+	start := time.Now()
+	out, err := b.Submit(context.Background(), tens(3))
+	if err != nil || out[0] != 6 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("lone request took %v", d)
+	}
+	if m.BatchFlushWindow.Load() != 1 {
+		t.Errorf("window flushes = %d, want 1", m.BatchFlushWindow.Load())
+	}
+}
+
+// TestSizeCapFlushesEarly floods the queue and checks full batches
+// dispatch before the (long) window expires, with the size-cap reason.
+func TestSizeCapFlushesEarly(t *testing.T) {
+	r := &fakeRunner{}
+	m := resilience.NewMetrics(16)
+	b := newTestBatcher(t, Config{Window: time.Minute, MaxBatch: 4, QueueCap: 64, Metrics: m}, r)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.Submit(context.Background(), tens(float32(i))); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait() // would hang for a minute if the size cap didn't flush
+	if m.BatchFlushFull.Load() == 0 {
+		t.Error("no size-cap flush recorded")
+	}
+	if m.BatchMaxOccupancy.Load() != 4 {
+		t.Errorf("max occupancy %d, want 4", m.BatchMaxOccupancy.Load())
+	}
+}
+
+// TestCancelledCallerDoesNotPoisonBatch cancels one request mid-window
+// and checks (a) the caller returns promptly with ctx.Err(), (b) the
+// other requests in the same window still succeed.
+func TestCancelledCallerDoesNotPoisonBatch(t *testing.T) {
+	r := &fakeRunner{}
+	b := newTestBatcher(t, Config{Window: 50 * time.Millisecond, MaxBatch: 8}, r)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var cancelledErr error
+	go func() {
+		defer wg.Done()
+		_, cancelledErr = b.Submit(ctx, tens(1))
+	}()
+	time.Sleep(5 * time.Millisecond) // let it enqueue inside the window
+	cancel()
+
+	out, err := b.Submit(context.Background(), tens(2))
+	if err != nil || out[0] != 4 {
+		t.Fatalf("survivor: out=%v err=%v", out, err)
+	}
+	wg.Wait()
+	if !errors.Is(cancelledErr, context.Canceled) {
+		t.Fatalf("cancelled caller got %v", cancelledErr)
+	}
+}
+
+// TestQueueFullSheds fills the queue behind a slow runner and checks
+// Submit sheds with ErrQueueFull instead of blocking.
+func TestQueueFullSheds(t *testing.T) {
+	r := &fakeRunner{delay: 50 * time.Millisecond}
+	b := newTestBatcher(t, Config{Window: time.Millisecond, MaxBatch: 2, QueueCap: 2}, r)
+	var full atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := b.Submit(context.Background(), tens(1))
+			if errors.Is(err, ErrQueueFull) {
+				full.Add(1)
+			} else if err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if full.Load() == 0 {
+		t.Error("queue never shed under pressure")
+	}
+}
+
+// TestCheckRejectsOnlyBadItem installs a validator and checks a bad
+// request fails alone, typed, while a concurrent good one succeeds.
+func TestCheckRejectsOnlyBadItem(t *testing.T) {
+	r := &fakeRunner{}
+	wantErr := errors.New("not finite")
+	b := newTestBatcher(t, Config{
+		Window:   20 * time.Millisecond,
+		MaxBatch: 8,
+		Check: func(x *tensor.Tensor) error {
+			if x.Data[0] < 0 {
+				return wantErr
+			}
+			return nil
+		},
+	}, r)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out, err := b.Submit(context.Background(), tens(5))
+		if err != nil || out[0] != 10 {
+			t.Errorf("good request: out=%v err=%v", out, err)
+		}
+	}()
+	_, err := b.Submit(context.Background(), tens(-1))
+	var ie *InputError
+	if !errors.As(err, &ie) || !errors.Is(err, wantErr) {
+		t.Fatalf("bad request: %v", err)
+	}
+	wg.Wait()
+	if r.batches.Load() == 0 {
+		t.Error("good request never ran")
+	}
+}
+
+// TestPanicIsolatedAndRunnerReplaced injects a panic, then checks the
+// poisoned batch's callers get a *PanicError, the worker swaps in a fresh
+// runner, and subsequent requests succeed — capacity intact.
+func TestPanicIsolatedAndRunnerReplaced(t *testing.T) {
+	var made atomic.Int64
+	var trip atomic.Bool
+	trip.Store(true)
+	m := resilience.NewMetrics(16)
+	b := newTestBatcher(t, Config{
+		Window:   time.Millisecond,
+		MaxBatch: 4,
+		Metrics:  m,
+		NewRunner: func() (Runner, error) {
+			made.Add(1)
+			return &fakeRunner{panicWhen: func([]*tensor.Tensor) bool {
+				return trip.Swap(false) // first batch on this runner panics
+			}}, nil
+		},
+	}, nil)
+
+	_, err := b.Submit(context.Background(), tens(1))
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if m.PanicsRecovered.Load() != 1 {
+		t.Errorf("panics recovered = %d", m.PanicsRecovered.Load())
+	}
+
+	// The batcher must still serve — and on a fresh runner.
+	out, err := b.Submit(context.Background(), tens(2))
+	if err != nil || out[0] != 4 {
+		t.Fatalf("after panic: out=%v err=%v", out, err)
+	}
+	if made.Load() != 2 {
+		t.Errorf("runner factory called %d times, want 2 (start + re-clone)", made.Load())
+	}
+}
+
+// TestRunnerErrorFailsBatchOnly checks a plain error from the runner
+// fails that batch's requests and the batcher keeps serving.
+func TestRunnerErrorFailsBatchOnly(t *testing.T) {
+	bad := errors.New("model exploded politely")
+	var trip atomic.Bool
+	trip.Store(true)
+	r := &fakeRunner{errWhen: func([]*tensor.Tensor) error {
+		if trip.Swap(false) {
+			return bad
+		}
+		return nil
+	}}
+	b := newTestBatcher(t, Config{Window: time.Millisecond, MaxBatch: 4}, r)
+	if _, err := b.Submit(context.Background(), tens(1)); !errors.Is(err, bad) {
+		t.Fatalf("want runner error, got %v", err)
+	}
+	if out, err := b.Submit(context.Background(), tens(3)); err != nil || out[0] != 6 {
+		t.Fatalf("after error: out=%v err=%v", out, err)
+	}
+}
+
+// TestCloseDrainsPendingRequests closes the batcher with a backlog and
+// checks every queued request completes (no lost futures) and drain
+// flushes are recorded.
+func TestCloseDrainsPendingRequests(t *testing.T) {
+	r := &fakeRunner{delay: 10 * time.Millisecond}
+	m := resilience.NewMetrics(16)
+	b, err := New(Config{
+		Window:    time.Minute, // only drain can flush these
+		MaxBatch:  4,
+		QueueCap:  64,
+		Metrics:   m,
+		NewRunner: func() (Runner, error) { return r, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N = 10
+	var wg sync.WaitGroup
+	var completed atomic.Int64
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := b.Submit(context.Background(), tens(float32(i)))
+			if err == nil && out[0] == float32(2*i) {
+				completed.Add(1)
+			} else if err != nil {
+				t.Errorf("request %d lost: %v", i, err)
+			}
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let them enqueue into the open window
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := b.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wg.Wait()
+	if completed.Load() != N {
+		t.Fatalf("%d/%d requests completed", completed.Load(), N)
+	}
+	if m.BatchFlushDrain.Load() == 0 {
+		t.Error("no drain flush recorded")
+	}
+	if _, err := b.Submit(context.Background(), tens(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestConcurrentChaos is the race-detector workout: many submitters,
+// random cancellations, an injected panic, and a drain at the end. No
+// future may be lost and no request double-completed (the runner asserts
+// single ownership; request.complete asserts exactly-once by CAS).
+func TestConcurrentChaos(t *testing.T) {
+	var made atomic.Int64
+	m := resilience.NewMetrics(64)
+	b, err := New(Config{
+		Window:   2 * time.Millisecond,
+		MaxBatch: 4,
+		QueueCap: 128,
+		Metrics:  m,
+		NewRunner: func() (Runner, error) {
+			n := made.Add(1)
+			return &fakeRunner{panicWhen: func(xs []*tensor.Tensor) bool {
+				// The first runner panics on its third batch, once.
+				return n == 1 && xs[0].Data[0] == 42
+			}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N = 200
+	var wg sync.WaitGroup
+	var settled atomic.Int64
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if i%5 == 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(i%7)*time.Millisecond)
+				defer cancel()
+			}
+			v := float32(i % 50)
+			if i == 77 {
+				v = 21 // sums to 42: the panic trigger
+			}
+			out, err := b.Submit(ctx, tens(v))
+			switch {
+			case err == nil:
+				if out[0] != 2*v {
+					t.Errorf("request %d: got %v want %v", i, out[0], 2*v)
+				}
+			case errors.Is(err, context.DeadlineExceeded),
+				errors.Is(err, context.Canceled),
+				errors.Is(err, ErrQueueFull):
+				// legitimate outcomes under chaos
+			default:
+				var pe *resilience.PanicError
+				if !errors.As(err, &pe) {
+					t.Errorf("request %d: unexpected error %v", i, err)
+				}
+			}
+			settled.Add(1)
+		}(i)
+	}
+	wg.Wait()
+	if settled.Load() != N {
+		t.Fatalf("%d/%d futures settled", settled.Load(), N)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := b.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// After the dust settles the batcher still dispatched real batches.
+	if m.Batches.Load() == 0 {
+		t.Error("no batches dispatched")
+	}
+}
+
+// TestNewRunnerFactoryFailure checks a broken factory surfaces at New.
+func TestNewRunnerFactoryFailure(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil NewRunner accepted")
+	}
+	boom := fmt.Errorf("no model")
+	if _, err := New(Config{NewRunner: func() (Runner, error) { return nil, boom }}); !errors.Is(err, boom) {
+		t.Fatalf("factory error not surfaced: %v", err)
+	}
+}

@@ -1,0 +1,75 @@
+package batch
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"bitflow/internal/graph"
+	"bitflow/internal/sched"
+	"bitflow/internal/tensor"
+	"bitflow/internal/workload"
+)
+
+// TestBatcherOverTinyVGG drives a real network through the batcher under
+// concurrency and checks every answer equals the sequential reference —
+// the end-to-end version of the InferBatch bit-identity guarantee.
+func TestBatcherOverTinyVGG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full network in -short mode")
+	}
+	feat := sched.Detect()
+	ws := graph.RandomWeights{Seed: 33}
+	ref, err := graph.TinyVGG(feat, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxBatch = 4
+	b, err := New(Config{
+		Window:   3 * time.Millisecond,
+		MaxBatch: maxBatch,
+		QueueCap: 64,
+		NewRunner: func() (Runner, error) {
+			net, err := graph.TinyVGG(feat, ws)
+			if err != nil {
+				return nil, err
+			}
+			net.EnsureBatch(maxBatch)
+			return net, nil
+		},
+		Check: func(x *tensor.Tensor) error { return ref.CheckInputFinite(x) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close(context.Background())
+
+	const N = 12
+	r := workload.NewRNG(34)
+	xs := make([]*tensor.Tensor, N)
+	want := make([][]float32, N)
+	for i := range xs {
+		xs[i] = workload.RandTensor(r, ref.InH, ref.InW, ref.InC)
+		want[i] = ref.Infer(xs[i])
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := b.Submit(context.Background(), xs[i])
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			for j := range want[i] {
+				if got[j] != want[i][j] {
+					t.Errorf("request %d logit %d: batched %v sequential %v", i, j, got[j], want[i][j])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"bitflow/internal/bitpack"
+	"bitflow/internal/kernels"
+)
+
+// This file implements the batched forward paths behind graph.InferBatch:
+// each operator processes B images per invocation, so its packed weights
+// stream through the cache once per layer per batch instead of once per
+// image, and the per-call dispatch overhead of the single-image kernels
+// amortizes across the batch (the operator-level consequence of the
+// paper's observation that binary kernels are throughput-bound). Per-image
+// arithmetic is identical word-for-word to the single-image paths, so
+// batched outputs are bit-identical to sequential ones.
+
+// ForwardPackedBatch runs ForwardPacked over B = len(ins) images in one
+// layer-major pass. For every output pixel the receptive fields of all B
+// images are gathered into contiguous blocks, then each packed filter is
+// applied to the whole batch with a single batched-kernel call. ins and
+// outs must be pairwise legal ForwardPacked arguments; buffers must not
+// alias across images. threads splits the fused OutH·OutW dimension, as
+// in ForwardPacked.
+func (cv *Conv) ForwardPackedBatch(ins, outs []*bitpack.Packed, threads int) {
+	B := len(ins)
+	if B == 0 || len(outs) != B {
+		panic(fmt.Sprintf("core: conv batch %d inputs, %d outputs", B, len(outs)))
+	}
+	if B == 1 {
+		cv.ForwardPacked(ins[0], outs[0], threads)
+		return
+	}
+	s := cv.Shape
+	for b := 0; b < B; b++ {
+		cv.checkInput(ins[b])
+		if outs[b].H != s.OutH || outs[b].W != s.OutW || outs[b].C != s.OutC {
+			panic(fmt.Sprintf("core: conv packed output %v, want %dx%dx%d", outs[b], s.OutH, s.OutW, s.OutC))
+		}
+		if outs[b].WPP != outs[0].WPP {
+			panic("core: conv batch outputs disagree on words per pixel")
+		}
+	}
+	rowLen := cv.rowLen
+	S := s.KH * rowLen // gathered receptive-field words per image
+	outWPP := outs[0].WPP
+	kernel := kernels.BatchForWidth(cv.Plan.Width)
+	fw := cv.filter.Words
+	n32 := int32(cv.validLanes)
+	act := cv.act
+	total := s.OutH * s.OutW
+	parallelFor(total, threads, func(start, end int) {
+		// Per-worker scratch: gathered inputs (image-major, S words each),
+		// one accumulator per image, and the packed output words of the
+		// current pixel for every image.
+		gather := make([]uint64, B*S)
+		accs := make([]int32, B)
+		outW := make([]uint64, B*outWPP)
+		for idx := start; idx < end; idx++ {
+			y := idx / s.OutW
+			x := idx % s.OutW
+			y0 := y*s.Stride - s.Pad
+			x0 := x*s.Stride - s.Pad
+			for b := 0; b < B; b++ {
+				w := ins[b].Words
+				dst := gather[b*S : (b+1)*S]
+				for i := 0; i < s.KH; i++ {
+					off := ins[b].PixelOffset(y0+i, x0)
+					copy(dst[i*rowLen:(i+1)*rowLen], w[off:off+rowLen])
+				}
+			}
+			clear(outW)
+			for k := 0; k < s.K; k++ {
+				base := k * S
+				kernel(gather, fw[base:base+S:base+S], accs)
+				wi := k / bitpack.WordBits
+				mask := uint64(1) << uint(k%bitpack.WordBits)
+				for b := 0; b < B; b++ {
+					d := n32 - 2*accs[b]
+					on := d >= 0 // sign activation, Equation 3
+					if act != nil {
+						on = act.bit(k, d) // folded batch-norm / bias threshold
+					}
+					if on {
+						outW[b*outWPP+wi] |= mask
+					}
+				}
+			}
+			for b := 0; b < B; b++ {
+				copy(outs[b].PixelWords(y, x), outW[b*outWPP:(b+1)*outWPP])
+			}
+		}
+	})
+}
+
+// ForwardBatch computes the K inner products of B packed activation rows
+// in one bgemm call with M = B: every packed weight row streams through
+// the cache once per batch. out[b] receives image b's K products.
+func (d *Dense) ForwardBatch(ins [][]uint64, outs [][]int32, threads int) {
+	B := len(ins)
+	if B == 0 || len(outs) != B {
+		panic(fmt.Sprintf("core: dense batch %d inputs, %d outputs", B, len(outs)))
+	}
+	for b := 0; b < B; b++ {
+		if len(ins[b]) != d.Plan.Words {
+			panic(fmt.Sprintf("core: dense batch input %d has %d words, want %d", b, len(ins[b]), d.Plan.Words))
+		}
+		if len(outs[b]) != d.Shape.K {
+			panic(fmt.Sprintf("core: dense batch output %d has len %d, want K=%d", b, len(outs[b]), d.Shape.K))
+		}
+	}
+	a := make([]uint64, B*d.Plan.Words)
+	for b := 0; b < B; b++ {
+		copy(a[b*d.Plan.Words:(b+1)*d.Plan.Words], ins[b])
+	}
+	out := make([]int32, B*d.Shape.K)
+	opts := kernels.BGemmOpts{Kernel: d.Plan.Kernel}
+	kernels.BGemmParallel(a, B, d.weights.Words, d.Shape.K, d.Plan.Words, d.Shape.N, out, opts, threads)
+	for b := 0; b < B; b++ {
+		copy(outs[b], out[b*d.Shape.K:(b+1)*d.Shape.K])
+	}
+}
+
+// ForwardPackedBatch is ForwardPacked over B images: one bgemm with
+// M = B, then the fused sign/threshold activation packed per image.
+func (d *Dense) ForwardPackedBatch(ins, outs [][]uint64, threads int) {
+	B := len(ins)
+	if B == 0 || len(outs) != B {
+		panic(fmt.Sprintf("core: dense batch %d inputs, %d outputs", B, len(outs)))
+	}
+	if B == 1 {
+		d.ForwardPacked(ins[0], outs[0], threads)
+		return
+	}
+	tmp := make([][]int32, B)
+	flat := make([]int32, B*d.Shape.K)
+	for b := 0; b < B; b++ {
+		tmp[b] = flat[b*d.Shape.K : (b+1)*d.Shape.K]
+	}
+	d.ForwardBatch(ins, tmp, threads)
+	for b := 0; b < B; b++ {
+		if len(outs[b]) < bitpack.WordsFor(d.Shape.K) {
+			panic("core: dense packed output too short")
+		}
+		d.packSigns(tmp[b], outs[b])
+	}
+}
+
+// ForwardFloatBatch is ForwardFloat over B images: one bgemm with M = B,
+// then the float conversion and optional affine per image.
+func (d *Dense) ForwardFloatBatch(ins [][]uint64, outs [][]float32, threads int) {
+	B := len(ins)
+	if B == 0 || len(outs) != B {
+		panic(fmt.Sprintf("core: dense batch %d inputs, %d outputs", B, len(outs)))
+	}
+	if B == 1 {
+		d.ForwardFloat(ins[0], outs[0], threads)
+		return
+	}
+	tmp := make([][]int32, B)
+	flat := make([]int32, B*d.Shape.K)
+	for b := 0; b < B; b++ {
+		tmp[b] = flat[b*d.Shape.K : (b+1)*d.Shape.K]
+	}
+	d.ForwardBatch(ins, tmp, threads)
+	for b := 0; b < B; b++ {
+		if d.affine != nil {
+			d.affine.Apply(tmp[b], outs[b])
+			continue
+		}
+		for i, v := range tmp[b] {
+			outs[b][i] = float32(v)
+		}
+	}
+}
+
+// packSigns writes the sign/threshold bits of the K pre-activations into
+// out, clearing trailing lanes — the shared tail of ForwardPacked and
+// ForwardPackedBatch.
+func (d *Dense) packSigns(tmp []int32, out []uint64) {
+	var word uint64
+	wi := 0
+	for k, v := range tmp {
+		on := v >= 0
+		if d.act != nil {
+			on = d.act.bit(k, v)
+		}
+		if on {
+			word |= 1 << uint(k%bitpack.WordBits)
+		}
+		if (k+1)%bitpack.WordBits == 0 {
+			out[wi] = word
+			word = 0
+			wi++
+		}
+	}
+	if d.Shape.K%bitpack.WordBits != 0 {
+		out[wi] = word
+		wi++
+	}
+	for ; wi < len(out); wi++ {
+		out[wi] = 0
+	}
+}

@@ -126,27 +126,5 @@ func (d *Dense) ForwardPacked(in []uint64, out []uint64, threads int) {
 	if len(out) < bitpack.WordsFor(d.Shape.K) {
 		panic("core: dense packed output too short")
 	}
-	var word uint64
-	wi := 0
-	for k, v := range tmp {
-		on := v >= 0
-		if d.act != nil {
-			on = d.act.bit(k, v)
-		}
-		if on {
-			word |= 1 << uint(k%bitpack.WordBits)
-		}
-		if (k+1)%bitpack.WordBits == 0 {
-			out[wi] = word
-			word = 0
-			wi++
-		}
-	}
-	if d.Shape.K%bitpack.WordBits != 0 {
-		out[wi] = word
-		wi++
-	}
-	for ; wi < len(out); wi++ {
-		out[wi] = 0
-	}
+	d.packSigns(tmp, out)
 }

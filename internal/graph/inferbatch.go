@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"bitflow/internal/bitpack"
+	"bitflow/internal/tensor"
+)
+
+// This file implements the batched inference path behind internal/batch:
+// a Network owns a pool of "lanes" — clones sharing its read-only packed
+// weights, each with a private activation-buffer chain (margins included,
+// so the zero-cost-padding layout carries over unchanged) — and InferBatch
+// runs a layer-major sweep across them: every image's activations for a
+// layer are in place before the layer's kernels run, so the layer's packed
+// filter words stream through the cache once per batch instead of once per
+// image (the engine-level scheduling daBNN-style systems get their
+// throughput from). Per-image arithmetic is identical to Infer, so batched
+// logits are bit-identical to sequential ones.
+
+// BatchInputError reports which item of a batch failed validation. The
+// forward pass does not run when InferBatch returns one; callers doing
+// per-request validation (internal/batch) check items individually before
+// ever assembling a batch, so a single bad input fails alone.
+type BatchInputError struct {
+	Index int
+	Err   error
+}
+
+func (e *BatchInputError) Error() string {
+	return fmt.Sprintf("graph: batch item %d: %v", e.Index, e.Err)
+}
+
+func (e *BatchInputError) Unwrap() error { return e.Err }
+
+// CheckInputFinite is CheckInput plus a NaN/Inf scan — the validation the
+// batched path applies per item, so one malformed tensor can be rejected
+// on its own without touching the rest of a batch.
+func (n *Network) CheckInputFinite(x *tensor.Tensor) error {
+	if err := n.CheckInput(x); err != nil {
+		return err
+	}
+	for i, v := range x.Data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("graph: input value %d is not finite", i)
+		}
+	}
+	return nil
+}
+
+// EnsureBatch grows the network's lane pool to serve batches of up to b
+// images without further allocation. Lane 0 is the network itself; extra
+// lanes are clones sharing the packed weights. The pool only ever grows —
+// a batcher sizes it once to its max-batch at startup, the "grown once"
+// buffer scheme of the batched path.
+func (n *Network) EnsureBatch(b int) {
+	for len(n.lanes) < b {
+		if len(n.lanes) == 0 {
+			n.lanes = append(n.lanes, n)
+			continue
+		}
+		n.lanes = append(n.lanes, n.Clone())
+	}
+}
+
+// MaxBatch reports the current lane-pool capacity (0 before the first
+// EnsureBatch/InferBatch call).
+func (n *Network) MaxBatch() int { return len(n.lanes) }
+
+// InferBatch runs one forward pass over all of xs and returns one logits
+// slice per input, with InferBatch(xs)[i] bit-identical to Infer(xs[i]).
+// Inputs are validated up front: a nil, misshapen, or malformed tensor
+// fails the call with a *BatchInputError naming the offending index and
+// no forward pass runs. Like Infer, InferBatch is not safe for concurrent
+// use on the same Network.
+func (n *Network) InferBatch(xs []*tensor.Tensor) ([][]float32, error) {
+	B := len(xs)
+	if B == 0 {
+		return nil, fmt.Errorf("graph: empty batch")
+	}
+	for i, x := range xs {
+		if err := n.CheckInputFinite(x); err != nil {
+			return nil, &BatchInputError{Index: i, Err: err}
+		}
+	}
+	if B == 1 {
+		out, err := n.InferChecked(xs[0])
+		if err != nil {
+			return nil, &BatchInputError{Index: 0, Err: err}
+		}
+		return [][]float32{out}, nil
+	}
+	n.EnsureBatch(B)
+	lanes := n.lanes[:B]
+	for b, lane := range lanes {
+		lane.feedInput(xs[b])
+	}
+	for li := range n.layers {
+		n.forwardLayerBatch(li, lanes)
+	}
+	outs := make([][]float32, B)
+	for b, lane := range lanes {
+		outs[b] = make([]float32, len(lane.output))
+		copy(outs[b], lane.output)
+	}
+	return outs, nil
+}
+
+// forwardLayerBatch runs layer li across all lanes. Conv and dense layers
+// use the batched operator paths (weights stream once per batch); pool and
+// the mixed-precision float stem are weightless or float-bound and run
+// per lane.
+func (n *Network) forwardLayerBatch(li int, lanes []*Network) {
+	B := len(lanes)
+	switch l := n.layers[li].(type) {
+	case *convLayer:
+		ins := make([]*bitpack.Packed, B)
+		outs := make([]*bitpack.Packed, B)
+		for b, lane := range lanes {
+			cl := lane.layers[li].(*convLayer)
+			ins[b], outs[b] = cl.in, cl.out
+		}
+		l.op.ForwardPackedBatch(ins, outs, n.Threads)
+	case *denseLayer:
+		ins := make([][]uint64, B)
+		for b, lane := range lanes {
+			ins[b] = lane.layers[li].(*denseLayer).in
+		}
+		if l.floatOut != nil {
+			outs := make([][]float32, B)
+			for b, lane := range lanes {
+				outs[b] = lane.layers[li].(*denseLayer).floatOut
+			}
+			l.op.ForwardFloatBatch(ins, outs, n.Threads)
+			return
+		}
+		outs := make([][]uint64, B)
+		for b, lane := range lanes {
+			outs[b] = lane.layers[li].(*denseLayer).packedOut
+		}
+		l.op.ForwardPackedBatch(ins, outs, n.Threads)
+	default:
+		for _, lane := range lanes {
+			lane.layers[li].forward(n.Threads)
+		}
+	}
+}

@@ -52,6 +52,11 @@ type Network struct {
 	arch []spec
 
 	activationWords int64 // pre-allocated packed activation words
+
+	// lanes is the batched-inference buffer pool (see inferbatch.go):
+	// lane 0 is the network itself, the rest are clones sharing the
+	// packed weights. Grown once by EnsureBatch, never shrunk.
+	lanes []*Network
 }
 
 // LayerInfo describes one layer for reporting.

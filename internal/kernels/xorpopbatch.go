@@ -1,0 +1,103 @@
+package kernels
+
+import "math/bits"
+
+// This file implements the batched XOR+popcount kernels behind the
+// micro-batched inference path: one filter block is applied to B gathered
+// input blocks in a single call, so the filter words are loaded once per
+// batch instead of once per image and the per-call dispatch overhead of
+// the single-image kernels amortizes across the batch. Accumulation per
+// image is unchanged word-for-word, so batched results are bit-identical
+// to the single-image kernels.
+
+// XorPopBatchFunc computes, for each of the B = len(accs) contiguous
+// S = len(filt) word blocks of a (len(a) = B*S), the XOR+popcount against
+// the single filter block: accs[b] = Σᵢ popcount(a[b*S+i] XOR filt[i]).
+type XorPopBatchFunc func(a, filt []uint64, accs []int32)
+
+// XorPopBatch64 is the scalar batched kernel (any block length). The
+// inner loop is unrolled by 3 — the natural row length of a KW=3, one
+// word-per-pixel convolution — with a scalar tail for other shapes.
+func XorPopBatch64(a, filt []uint64, accs []int32) {
+	s := len(filt)
+	for b := range accs {
+		blk := a[b*s : b*s+s : b*s+s]
+		acc := 0
+		i := 0
+		for ; i+3 <= s; i += 3 {
+			acc += bits.OnesCount64(blk[i]^filt[i]) +
+				bits.OnesCount64(blk[i+1]^filt[i+1]) +
+				bits.OnesCount64(blk[i+2]^filt[i+2])
+		}
+		for ; i < s; i++ {
+			acc += bits.OnesCount64(blk[i] ^ filt[i])
+		}
+		accs[b] = int32(acc)
+	}
+}
+
+// XorPopBatch128 processes 2 words per step; block length must be a
+// multiple of 2.
+func XorPopBatch128(a, filt []uint64, accs []int32) {
+	s := len(filt)
+	for b := range accs {
+		blk := a[b*s : b*s+s : b*s+s]
+		var acc0, acc1 int
+		for i := 0; i < s; i += 2 {
+			acc0 += bits.OnesCount64(blk[i] ^ filt[i])
+			acc1 += bits.OnesCount64(blk[i+1] ^ filt[i+1])
+		}
+		accs[b] = int32(acc0 + acc1)
+	}
+}
+
+// XorPopBatch256 processes 4 words per step; block length must be a
+// multiple of 4.
+func XorPopBatch256(a, filt []uint64, accs []int32) {
+	s := len(filt)
+	for b := range accs {
+		blk := a[b*s : b*s+s : b*s+s]
+		var acc0, acc1, acc2, acc3 int
+		for i := 0; i < s; i += 4 {
+			acc0 += bits.OnesCount64(blk[i] ^ filt[i])
+			acc1 += bits.OnesCount64(blk[i+1] ^ filt[i+1])
+			acc2 += bits.OnesCount64(blk[i+2] ^ filt[i+2])
+			acc3 += bits.OnesCount64(blk[i+3] ^ filt[i+3])
+		}
+		accs[b] = int32((acc0 + acc1) + (acc2 + acc3))
+	}
+}
+
+// XorPopBatch512 processes 8 words per step; block length must be a
+// multiple of 8.
+func XorPopBatch512(a, filt []uint64, accs []int32) {
+	s := len(filt)
+	for b := range accs {
+		blk := a[b*s : b*s+s : b*s+s]
+		var acc0, acc1, acc2, acc3 int
+		for i := 0; i < s; i += 8 {
+			acc0 += bits.OnesCount64(blk[i]^filt[i]) + bits.OnesCount64(blk[i+4]^filt[i+4])
+			acc1 += bits.OnesCount64(blk[i+1]^filt[i+1]) + bits.OnesCount64(blk[i+5]^filt[i+5])
+			acc2 += bits.OnesCount64(blk[i+2]^filt[i+2]) + bits.OnesCount64(blk[i+6]^filt[i+6])
+			acc3 += bits.OnesCount64(blk[i+3]^filt[i+3]) + bits.OnesCount64(blk[i+7]^filt[i+7])
+		}
+		accs[b] = int32((acc0 + acc1) + (acc2 + acc3))
+	}
+}
+
+// BatchForWidth returns the batched kernel for the given width. The width
+// contract matches ForWidth/RowsForWidth: the block length handed to the
+// kernel must be a multiple of the width's word count.
+func BatchForWidth(w Width) XorPopBatchFunc {
+	switch w {
+	case W64:
+		return XorPopBatch64
+	case W128:
+		return XorPopBatch128
+	case W256:
+		return XorPopBatch256
+	case W512:
+		return XorPopBatch512
+	}
+	panic("kernels: unknown width")
+}

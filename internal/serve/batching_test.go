@@ -1,0 +1,214 @@
+package serve
+
+// Batch-mode serving tests: the HTTP API must be byte-compatible with the
+// unbatched path, /statusz gains the batch section, panics stay isolated,
+// and SIGTERM-style drain completes every accepted request.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"bitflow/internal/workload"
+)
+
+// TestBatchedServerMatchesSequential runs concurrent requests against a
+// batching server and checks every response equals the sequential
+// reference — same API shape, same logits, bit for bit.
+func TestBatchedServerMatchesSequential(t *testing.T) {
+	net := testNetwork(t)
+	ref := testNetwork(t) // same seed → same weights
+	s := NewWithConfig(net, Config{
+		Replicas:    1,
+		Batching:    true,
+		BatchWindow: 5 * time.Millisecond,
+		MaxBatch:    4,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const N = 12
+	r := workload.NewRNG(171)
+	xs := make([][]float32, N)
+	want := make([][]float32, N)
+	for i := range xs {
+		x := workload.RandTensor(r, net.InH, net.InW, net.InC)
+		xs[i] = x.Data
+		want[i] = ref.Infer(x)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, ir := postInfer(t, ts, xs[i])
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+				return
+			}
+			for j := range want[i] {
+				if ir.Logits[j] != want[i][j] {
+					t.Errorf("request %d logit %d: batched %v sequential %v", i, j, ir.Logits[j], want[i][j])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// The batch section must be live on /statusz and show dispatches.
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Statusz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Batch == nil {
+		t.Fatal("no batch section in /statusz with batching enabled")
+	}
+	if st.Batch.Batches == 0 || st.Batch.MaxOccupancy < 1 {
+		t.Errorf("batch section not counting: %+v", st.Batch)
+	}
+	if st.Batch.MaxBatch != 4 || st.Batch.Window != "5ms" {
+		t.Errorf("batch config misreported: %+v", st.Batch)
+	}
+	flushes := st.Batch.FlushWindowExpired + st.Batch.FlushSizeCap + st.Batch.FlushDrain
+	if flushes != st.Batch.Batches {
+		t.Errorf("flush reasons (%d) do not account for all %d batches", flushes, st.Batch.Batches)
+	}
+	if st.Metrics.OK != N {
+		t.Errorf("ok=%d want %d", st.Metrics.OK, N)
+	}
+	if st.ReplicasAvailable != 1 {
+		t.Errorf("replicas_available=%d in batch mode", st.ReplicasAvailable)
+	}
+}
+
+// TestBatchingDisabledByDefault: a zero Config must not batch, and
+// /statusz must not grow a batch section.
+func TestBatchingDisabledByDefault(t *testing.T) {
+	s := NewWithConfig(testNetwork(t), Config{})
+	if s.batcher != nil {
+		t.Fatal("batcher constructed without opting in")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Statusz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Batch != nil {
+		t.Fatalf("batch section present with batching off: %+v", st.Batch)
+	}
+}
+
+// TestBatchedPanicIsolatedAndRecovered injects a panicking backend into a
+// batching server: the poisoned request gets a 500 with code "panic", the
+// worker re-clones its runner, and the server keeps answering — capacity
+// intact.
+func TestBatchedPanicIsolatedAndRecovered(t *testing.T) {
+	net := testNetwork(t)
+	fb := &faultBackend{net: net, trigger: 42.5}
+	s := newServer(metaFor(net), fb, Config{
+		Replicas:    1,
+		Batching:    true,
+		BatchWindow: time.Millisecond,
+		MaxBatch:    4,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	bad := workload.RandTensor(workload.NewRNG(172), net.InH, net.InW, net.InC)
+	bad.Data[0] = 42.5
+	resp, _ := postInfer(t, ts, bad.Data)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panic request: status %d", resp.StatusCode)
+	}
+	good := workload.RandTensor(workload.NewRNG(173), net.InH, net.InW, net.InC)
+	for i := 0; i < 3; i++ {
+		resp, ir := postInfer(t, ts, good.Data)
+		if resp.StatusCode != http.StatusOK || len(ir.Logits) != net.Classes {
+			t.Fatalf("post-panic request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if got := s.metrics.PanicsRecovered.Load(); got != 1 {
+		t.Errorf("panics recovered = %d, want 1", got)
+	}
+}
+
+// TestBatchedGracefulDrain cancels the serve context while batched
+// requests sit in an open coalescing window and checks the drain flushes
+// and completes them all.
+func TestBatchedGracefulDrain(t *testing.T) {
+	net := testNetwork(t)
+	s := NewWithConfig(net, Config{
+		Replicas:    1,
+		Batching:    true,
+		BatchWindow: 30 * time.Millisecond,
+		MaxBatch:    8,
+	})
+	l, err := net2Listen(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + l.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- s.ServeListener(ctx, l, HTTPConfig{ShutdownGrace: 5 * time.Second})
+	}()
+	if !s.Ready() {
+		t.Fatal("server not ready")
+	}
+
+	x := workload.RandTensor(workload.NewRNG(174), net.InH, net.InW, net.InC)
+	body, _ := json.Marshal(InferRequest{Data: x.Data})
+	const N = 5
+	var wg sync.WaitGroup
+	codes := make([]int, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(base+"/infer", "application/json", bytes.NewReader(body))
+			if err != nil {
+				codes[i] = -1
+				return
+			}
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let the requests enter the window
+	cancel()                          // SIGTERM equivalent
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Errorf("request %d finished with status %d during drain", i, c)
+		}
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after drain")
+	}
+	if s.metrics.BatchFlushDrain.Load() == 0 && s.metrics.BatchFlushWindow.Load() == 0 {
+		t.Error("no flush recorded for the drained batch")
+	}
+}

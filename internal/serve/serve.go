@@ -26,9 +26,11 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"bitflow/internal/batch"
 	"bitflow/internal/graph"
 	"bitflow/internal/resilience"
 	"bitflow/internal/tensor"
@@ -47,6 +49,19 @@ type Config struct {
 	// A request still queued when it expires is shed with 503.
 	// Default 30s.
 	RequestTimeout time.Duration
+
+	// Batching enables dynamic micro-batching: concurrent requests
+	// coalesce (up to MaxBatch, waiting at most BatchWindow) and run
+	// through the batched forward path, so packed filter words are
+	// loaded once per layer per batch. Off by default — it trades a
+	// bounded amount of latency for throughput, a call the operator
+	// makes explicitly. The HTTP API is unchanged either way.
+	Batching bool
+	// BatchWindow bounds how long the first request of a batch waits
+	// for company. Default 2ms.
+	BatchWindow time.Duration
+	// MaxBatch caps how many requests share one forward pass. Default 8.
+	MaxBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +80,14 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
+	if c.Batching {
+		if c.BatchWindow <= 0 {
+			c.BatchWindow = 2 * time.Millisecond
+		}
+		if c.MaxBatch <= 0 {
+			c.MaxBatch = 8
+		}
+	}
 	return c
 }
 
@@ -81,6 +104,41 @@ type netBackend struct{ net *graph.Network }
 func (b netBackend) infer(x *tensor.Tensor) ([]float32, error) { return b.net.InferChecked(x) }
 func (b netBackend) clone() backend                            { return netBackend{net: b.net.Clone()} }
 
+func (b netBackend) inferBatch(xs []*tensor.Tensor) ([][]float32, error) { return b.net.InferBatch(xs) }
+func (b netBackend) prepareBatch(max int)                                { b.net.EnsureBatch(max) }
+
+// batchInferer marks backends with a true batched forward path; backends
+// without one (the test fakes) fall back to a per-item loop inside
+// backendRunner, which keeps the batcher's scheduling behavior testable
+// independently of the batched kernels.
+type batchInferer interface {
+	inferBatch(xs []*tensor.Tensor) ([][]float32, error)
+}
+
+// batchPreparer lets a backend pre-grow its batch buffers once, at
+// startup, instead of lazily on the first full batch.
+type batchPreparer interface {
+	prepareBatch(max int)
+}
+
+// backendRunner adapts a backend to batch.Runner.
+type backendRunner struct{ b backend }
+
+func (r backendRunner) InferBatch(xs []*tensor.Tensor) ([][]float32, error) {
+	if bi, ok := r.b.(batchInferer); ok {
+		return bi.inferBatch(xs)
+	}
+	outs := make([][]float32, len(xs))
+	for i, x := range xs {
+		out, err := r.b.infer(x)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = out
+	}
+	return outs, nil
+}
+
 // Server wraps a network with an HTTP handler plus the resilience layer
 // (admission gate, panic isolation, counters).
 type Server struct {
@@ -91,6 +149,10 @@ type Server struct {
 	metrics *resilience.Metrics
 	ready   atomic.Bool
 	started time.Time
+
+	// batcher is non-nil iff cfg.Batching: /infer then routes through it
+	// instead of the replica pool, and the workers own the backends.
+	batcher *batch.Batcher
 }
 
 // Meta is the /model response.
@@ -139,7 +201,22 @@ type Statusz struct {
 	ReplicasAvailable int                 `json:"replicas_available"`
 	MaxQueue          int                 `json:"max_queue"`
 	RequestTimeout    string              `json:"request_timeout"`
+	Batch             *BatchStatus        `json:"batch,omitempty"`
 	Metrics           resilience.Snapshot `json:"metrics"`
+}
+
+// BatchStatus is the /statusz micro-batching section, present only when
+// batching is enabled: configuration plus the occupancy and flush-reason
+// counters that say whether the window/size-cap settings fit the traffic.
+type BatchStatus struct {
+	Window             string  `json:"window"`
+	MaxBatch           int     `json:"max_batch"`
+	Batches            int64   `json:"batches"`
+	MeanOccupancy      float64 `json:"mean_occupancy"`
+	MaxOccupancy       int64   `json:"max_occupancy"`
+	FlushWindowExpired int64   `json:"flush_window_expired"`
+	FlushSizeCap       int64   `json:"flush_size_cap"`
+	FlushDrain         int64   `json:"flush_drain"`
 }
 
 // New builds a server around net with `replicas` clones for concurrent
@@ -171,15 +248,56 @@ func NewWithConfig(net *graph.Network, cfg Config) *Server {
 func newServer(meta Meta, first backend, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	meta.Replicas = cfg.Replicas
+	// In batch mode a "slot" is a seat in a forming batch, not a whole
+	// replica, so admission must allow Replicas×MaxBatch concurrent
+	// requests or batches could never fill.
+	gateCap := cfg.Replicas
+	if cfg.Batching {
+		gateCap = cfg.Replicas * cfg.MaxBatch
+	}
 	s := &Server{
 		meta:    meta,
 		cfg:     cfg,
 		pool:    make(chan backend, cfg.Replicas),
-		gate:    resilience.NewGate(cfg.Replicas, cfg.MaxQueue),
+		gate:    resilience.NewGate(gateCap, cfg.MaxQueue),
 		metrics: resilience.NewMetrics(1024),
 		started: time.Now(),
 	}
 	s.warmup(first)
+	if cfg.Batching {
+		// The batch workers own the backends: worker i gets the i-th
+		// replica (lane pools pre-grown to MaxBatch), and a worker whose
+		// runner panicked gets a fresh clone from the factory.
+		var mu sync.Mutex
+		handedFirst := false
+		b, err := batch.New(batch.Config{
+			Window:   cfg.BatchWindow,
+			MaxBatch: cfg.MaxBatch,
+			Workers:  cfg.Replicas,
+			QueueCap: gateCap + cfg.MaxQueue,
+			Metrics:  s.metrics,
+			NewRunner: func() (batch.Runner, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				bk := first
+				if handedFirst {
+					bk = first.clone()
+				}
+				handedFirst = true
+				if bp, ok := bk.(batchPreparer); ok {
+					bp.prepareBatch(cfg.MaxBatch)
+				}
+				return backendRunner{b: bk}, nil
+			},
+		})
+		if err != nil {
+			// The factory above cannot fail; a future one that can must
+			// not yield a half-built server.
+			panic(fmt.Sprintf("serve: building batcher: %v", err))
+		}
+		s.batcher = b
+		return s
+	}
 	s.pool <- first
 	for i := 1; i < cfg.Replicas; i++ {
 		s.pool <- first.clone()
@@ -238,7 +356,8 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	s.metrics.QueueDepth.Store(s.gate.Waiting())
 	s.metrics.InFlight.Store(s.gate.Held())
-	writeJSON(w, http.StatusOK, Statusz{
+	snap := s.metrics.Snapshot()
+	st := Statusz{
 		Model:             s.meta.Name,
 		Uptime:            time.Since(s.started).Round(time.Millisecond).String(),
 		UptimeSeconds:     time.Since(s.started).Seconds(),
@@ -247,8 +366,24 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		ReplicasAvailable: len(s.pool),
 		MaxQueue:          s.cfg.MaxQueue,
 		RequestTimeout:    s.cfg.RequestTimeout.String(),
-		Metrics:           s.metrics.Snapshot(),
-	})
+		Metrics:           snap,
+	}
+	if s.batcher != nil {
+		// Batch workers never die (a panicked runner is replaced), so the
+		// replica count is also the available count.
+		st.ReplicasAvailable = s.cfg.Replicas
+		st.Batch = &BatchStatus{
+			Window:             s.cfg.BatchWindow.String(),
+			MaxBatch:           s.cfg.MaxBatch,
+			Batches:            snap.Batches,
+			MeanOccupancy:      snap.BatchMeanOccupancy,
+			MaxOccupancy:       snap.BatchMaxOccupancy,
+			FlushWindowExpired: snap.BatchFlushWindow,
+			FlushSizeCap:       snap.BatchFlushFull,
+			FlushDrain:         snap.BatchFlushDrain,
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
@@ -295,8 +430,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	x := tensor.FromSlice(s.meta.InputH, s.meta.InputW, s.meta.InputC, req.Data)
 
-	// Admission: wait for a replica inside the bounded queue, giving up
-	// when the per-request deadline (or the client) expires.
+	// Admission: wait for a slot inside the bounded queue, giving up
+	// when the per-request deadline (or the client) expires. In batch
+	// mode a slot is a seat in a forming batch rather than a replica.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	if err := s.gate.Acquire(ctx); err != nil {
@@ -315,6 +451,11 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.gate.Release()
+
+	if s.batcher != nil {
+		s.inferBatched(w, ctx, x)
+		return
+	}
 
 	// The gate guarantees a replica is free: slot holders hold at most one
 	// replica and always return one (re-cloned after a panic) on exit.
@@ -353,6 +494,57 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	s.metrics.OK.Add(1)
 	s.metrics.ObserveLatency(elapsed)
 
+	best := 0
+	for i, v := range logits {
+		if v > logits[best] {
+			best = i
+		}
+	}
+	writeJSON(w, http.StatusOK, InferResponse{
+		Logits:  logits,
+		Class:   best,
+		Elapsed: elapsed.String(),
+	})
+}
+
+// inferBatched serves one admitted request through the micro-batcher: the
+// request takes a seat in the forming batch and blocks on its future. The
+// error taxonomy (and HTTP API) is identical to the unbatched path.
+func (s *Server) inferBatched(w http.ResponseWriter, ctx context.Context, x *tensor.Tensor) {
+	t0 := time.Now()
+	logits, err := s.batcher.Submit(ctx, x)
+	elapsed := time.Since(t0)
+	if err != nil {
+		var pe *resilience.PanicError
+		var ie *batch.InputError
+		switch {
+		case errors.As(err, &pe):
+			// PanicsRecovered already counted by the batcher.
+			writeError(w, http.StatusInternalServerError, "panic",
+				fmt.Sprintf("inference failed: %v", pe))
+		case errors.Is(err, batch.ErrQueueFull):
+			s.metrics.Shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "queue_full", "batch queue full; retry later")
+		case errors.Is(err, batch.ErrClosed):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "not_ready", "server is draining")
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			s.metrics.Shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "deadline",
+				fmt.Sprintf("deadline expired after %s waiting for a batch slot", s.cfg.RequestTimeout))
+		case errors.As(err, &ie):
+			s.metrics.BadRequests.Add(1)
+			writeError(w, http.StatusBadRequest, "bad_request", ie.Error())
+		default:
+			s.metrics.BadRequests.Add(1)
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		}
+		return
+	}
+	s.metrics.OK.Add(1)
+	s.metrics.ObserveLatency(elapsed)
 	best := 0
 	for i, v := range logits {
 		if v > logits[best] {
@@ -432,6 +624,13 @@ func (s *Server) ServeListener(ctx context.Context, l net.Listener, hc HTTPConfi
 		defer cancel()
 		err := hs.Shutdown(sctx)
 		<-errc // always http.ErrServerClosed after Shutdown
+		if s.batcher != nil {
+			// In-flight HTTP requests have finished (or been cut off), so
+			// the batcher can flush its backlog and stop its workers.
+			if berr := s.batcher.Close(sctx); err == nil {
+				err = berr
+			}
+		}
 		return err
 	}
 }
