@@ -15,6 +15,7 @@ import (
 	"bitflow/internal/baseline"
 	"bitflow/internal/bitpack"
 	"bitflow/internal/core"
+	"bitflow/internal/exec"
 	"bitflow/internal/graph"
 	"bitflow/internal/kernels"
 	"bitflow/internal/sched"
@@ -94,7 +95,7 @@ func benchConvBitFlow(b *testing.B, name string, threads int) {
 	cb := convFor(b, name)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cb.conv.ForwardPacked(cb.packed, cb.pOut, threads)
+		cb.conv.ForwardPacked(cb.packed, cb.pOut, exec.Threads(threads))
 	}
 }
 
@@ -184,7 +185,7 @@ func benchDenseBitFlow(b *testing.B, name string, threads int) {
 	db := denseFor(b, name)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		db.d.Forward(db.packed, db.out, threads)
+		db.d.Forward(db.packed, db.out, exec.Threads(threads))
 	}
 }
 
@@ -244,7 +245,7 @@ func BenchmarkFig7Pool4BitFlow(b *testing.B) {
 	pb := poolFor(b, "pool4")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pb.pool.Forward(pb.packed, pb.pOut, 1)
+		pb.pool.Forward(pb.packed, pb.pOut, exec.Serial())
 	}
 }
 
@@ -260,7 +261,7 @@ func BenchmarkFig7Pool5BitFlow(b *testing.B) {
 	pb := poolFor(b, "pool5")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pb.pool.Forward(pb.packed, pb.pOut, 1)
+		pb.pool.Forward(pb.packed, pb.pOut, exec.Serial())
 	}
 }
 
@@ -341,7 +342,7 @@ func benchConvWidth(b *testing.B, cap kernels.Width) {
 	out := bitpack.NewPacked(shape.OutH, shape.OutW, cfg.K, plan.Words, 0, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cv.ForwardPacked(in, out, 1)
+		cv.ForwardPacked(in, out, exec.Serial())
 	}
 }
 
@@ -413,7 +414,7 @@ func BenchmarkAblationZeroCostPad(b *testing.B) {
 		// Producer writes the interior (simulated by the pack), conv
 		// reads through the margins: no copy.
 		bitpack.PackTensorInto(in, packed)
-		cv.ForwardPacked(packed, out, 1)
+		cv.ForwardPacked(packed, out, exec.Serial())
 	}
 }
 
@@ -432,7 +433,7 @@ func BenchmarkAblationCopyPad(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		padded := in.PadSpatial(1, -1) // the copy the margins avoid
 		bitpack.PackTensorInto(padded, packed)
-		cv.ForwardPacked(packed, out, 1)
+		cv.ForwardPacked(packed, out, exec.Serial())
 	}
 }
 
@@ -513,7 +514,7 @@ func benchConvThresholds(b *testing.B, withBN bool) {
 	out := bitpack.NewPacked(shape.OutH, shape.OutW, cfg.K, sched.Select(cfg.K, detect()).Words, 0, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cv.ForwardPacked(in, out, 1)
+		cv.ForwardPacked(in, out, exec.Serial())
 	}
 }
 
@@ -535,7 +536,7 @@ func benchMultiBase(b *testing.B, m int) {
 	out := tensor.New(shape.OutH, shape.OutW, shape.OutC)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mc.Forward(in, out, 1)
+		mc.Forward(in, out, exec.Serial())
 	}
 }
 
@@ -559,7 +560,7 @@ func BenchmarkAblationFirstLayerBinary(b *testing.B) {
 	out := bitpack.NewPacked(shape.OutH, shape.OutW, 64, 1, 0, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cv.ForwardPacked(in, out, 1)
+		cv.ForwardPacked(in, out, exec.Serial())
 	}
 }
 
@@ -574,7 +575,7 @@ func BenchmarkAblationFirstLayerFloat(b *testing.B) {
 	out := bitpack.NewPacked(shape.OutH, shape.OutW, 64, 1, 0, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fc.Forward(in, out, 1)
+		fc.Forward(in, out, exec.Serial())
 	}
 }
 
@@ -593,7 +594,7 @@ func benchMultiBit(b *testing.B, bits int) {
 	out := tensor.New(shape.OutH, shape.OutW, shape.OutC)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mb.Forward(planes, out, 1)
+		mb.Forward(planes, out, exec.Serial())
 	}
 }
 

@@ -31,6 +31,7 @@ package bitflow
 import (
 	"io"
 
+	"bitflow/internal/exec"
 	"bitflow/internal/graph"
 	"bitflow/internal/kernels"
 	"bitflow/internal/sched"
@@ -140,3 +141,29 @@ func TinyVGG(feat Features, ws WeightSource) (*Network, error) { return graph.Ti
 // machine loads bit-identically on any other; only the kernel selection
 // (from feat) differs.
 func Load(r io.Reader, feat Features) (*Network, error) { return graph.Load(r, feat) }
+
+// ExecPool is a persistent worker pool for multi-core operator dispatch.
+// One process-wide pool can be shared by any number of networks; each
+// inference borrows at most its context's thread budget from it.
+type ExecPool = exec.Pool
+
+// ExecCtx is an immutable execution context: a thread budget, an
+// optional pool, an optional cancellation context and an optional
+// per-layer timing observer. Attach one with Network.SetExec.
+type ExecCtx = exec.Ctx
+
+// NewExecPool starts a pool of n persistent workers (Close releases
+// them). Use ExecDefault for a lazily created GOMAXPROCS-sized pool.
+func NewExecPool(n int) *ExecPool { return exec.NewPool(n) }
+
+// ExecDefault returns the process-wide GOMAXPROCS-sized pool, creating
+// it on first use.
+func ExecDefault() *ExecPool { return exec.Default() }
+
+// Pooled returns a context running up to threads-wide parallel sections
+// on p's persistent workers. The chunk split is identical to every other
+// dispatch mode, so logits are bit-identical across all of them.
+func Pooled(p *ExecPool, threads int) *ExecCtx { return exec.Pooled(p, threads) }
+
+// Serial returns the single-threaded execution context.
+func Serial() *ExecCtx { return exec.Serial() }

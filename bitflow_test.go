@@ -134,3 +134,42 @@ func TestPublicClone(t *testing.T) {
 		}
 	}
 }
+
+// TestPublicExec exercises the execution-context exports: a shared pool
+// attached through the facade must leave logits bit-identical to the
+// default serial path.
+func TestPublicExec(t *testing.T) {
+	feat := bitflow.Detect()
+	net, err := bitflow.NewBuilder("execdemo", 16, 16, 64, feat).
+		Conv3x3("conv1", 64).
+		Pool("pool1", 2, 2, 2).
+		Dense("fc", 10).
+		Build(bitflow.RandomWeights{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := bitflow.NewTensor(16, 16, 64)
+	r := workload.NewRNG(2)
+	for i := range x.Data {
+		x.Data[i] = 2*r.Float32() - 1
+	}
+	want := net.Infer(x)
+
+	p := bitflow.NewExecPool(3)
+	defer p.Close()
+	net.SetExec(bitflow.Pooled(p, 4))
+	got := net.Infer(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pooled logit %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if p.Report().Dispatches == 0 {
+		t.Error("no dispatches reached the facade pool")
+	}
+
+	net.SetExec(bitflow.Serial())
+	if rep := bitflow.ExecDefault().Report(); rep.Workers < 1 {
+		t.Errorf("default pool reports %d workers", rep.Workers)
+	}
+}

@@ -10,6 +10,7 @@
 //	bitflow-bench ait     # arithmetic-intensity analysis (§III-A)
 //	bitflow-bench sweep   # extension: kernel-tier sweep over channel counts
 //	bitflow-bench batch   # extension: micro-batching throughput → BENCH_batch.json
+//	bitflow-bench exec    # extension: spawn-per-call vs pooled dispatch → BENCH_exec.json
 //	bitflow-bench all     # everything above
 //
 // Flags:
@@ -39,7 +40,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bitflow-bench [flags] {fig7|fig8|fig9|fig10|fig11|table5|ait|sweep|batch|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: bitflow-bench [flags] {fig7|fig8|fig9|fig10|fig11|table5|ait|sweep|batch|exec|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -75,6 +76,8 @@ func main() {
 		run("sweep", runSweep)
 	case "batch":
 		run("batch", runBatchBench)
+	case "exec":
+		run("exec", runExecBench)
 	case "all":
 		for _, sub := range []struct {
 			name string
@@ -82,7 +85,7 @@ func main() {
 		}{
 			{"ait", runAIT}, {"fig7", runFig7}, {"fig8", runFig8}, {"fig9", runFig9},
 			{"fig10", runFig10}, {"fig11", runFig11}, {"table5", runTable5},
-			{"sweep", runSweep}, {"batch", runBatchBench},
+			{"sweep", runSweep}, {"batch", runBatchBench}, {"exec", runExecBench},
 		} {
 			run(sub.name, sub.f)
 		}

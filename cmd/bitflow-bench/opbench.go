@@ -6,6 +6,7 @@ import (
 	"bitflow/internal/baseline"
 	"bitflow/internal/bitpack"
 	"bitflow/internal/core"
+	"bitflow/internal/exec"
 	"bitflow/internal/kernels"
 	"bitflow/internal/sched"
 	"bitflow/internal/workload"
@@ -61,7 +62,7 @@ func buildRunners(cfg workload.OpConfig, feat sched.Features, seed uint64) (*opR
 		bitpack.PackTensorInto(in, packed)
 		outPlan := sched.Select(cfg.K, feat)
 		pOut := bitpack.NewPacked(shape.OutH, shape.OutW, cfg.K, outPlan.Words, 0, 0)
-		or.bitflow = func(threads int) { cv.ForwardPacked(packed, pOut, threads) }
+		or.bitflow = func(threads int) { cv.ForwardPacked(packed, pOut, exec.Threads(threads)) }
 
 		bim := baseline.NewBinaryIm2colConv(filt, cfg.Stride, cfg.Pad)
 		or.unopt = func(threads int) { bim.Forward(in, threads) }
@@ -90,7 +91,7 @@ func buildRunners(cfg workload.OpConfig, feat sched.Features, seed uint64) (*opR
 		packedIn := d.NewInput()
 		bitpack.PackVectorInto(packedIn, inVals)
 		out := make([]int32, cfg.K)
-		or.bitflow = func(threads int) { d.Forward(packedIn, out, threads) }
+		or.bitflow = func(threads int) { d.Forward(packedIn, out, exec.Threads(threads)) }
 
 		// Unoptimized binary fc: pack the activation vector at run time
 		// (no fused transform pre-staging for activations), then a
@@ -127,7 +128,7 @@ func buildRunners(cfg workload.OpConfig, feat sched.Features, seed uint64) (*opR
 		}
 		packed := bitpack.PackTensor(in, plan.Words, 0, 0)
 		pOut := bitpack.NewPacked(shape.OutH, shape.OutW, shape.OutC, plan.Words, 0, 0)
-		or.bitflow = func(threads int) { pl.Forward(packed, pOut, threads) }
+		or.bitflow = func(threads int) { pl.Forward(packed, pOut, exec.Threads(threads)) }
 
 		// Unoptimized ("unvectorized", Fig. 7) binary pool: same packed
 		// input, but a plain word-at-a-time OR reduction with no

@@ -8,6 +8,7 @@ import (
 	"bitflow/internal/bench"
 	"bitflow/internal/bitpack"
 	"bitflow/internal/core"
+	"bitflow/internal/exec"
 	"bitflow/internal/kernels"
 	"bitflow/internal/sched"
 	"bitflow/internal/workload"
@@ -74,5 +75,5 @@ func measureConvPlan(c int, plan sched.Plan) (time.Duration, error) {
 	in := cv.NewInput()
 	bitpack.PackTensorInto(workload.PM1Tensor(r, 28, 28, c), in)
 	out := bitpack.NewPacked(shape.OutH, shape.OutW, 64, 1, 0, 0)
-	return measure(func(threads int) { cv.ForwardPacked(in, out, threads) }, 1), nil
+	return measure(func(threads int) { cv.ForwardPacked(in, out, exec.Threads(threads)) }, 1), nil
 }

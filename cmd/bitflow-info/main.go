@@ -11,6 +11,7 @@ import (
 
 	"bitflow/internal/ait"
 	"bitflow/internal/bench"
+	"bitflow/internal/exec"
 	"bitflow/internal/kernels"
 	"bitflow/internal/sched"
 	"bitflow/internal/workload"
@@ -24,6 +25,14 @@ func main() {
 	fmt.Printf("  hardware detector: %s\n", feat)
 	fmt.Printf("  usable cores:      %d\n", bench.PhysicalCores())
 	fmt.Printf("  width cap env:     %s (set to 64/128/256/512 to emulate narrower machines)\n", sched.MaxWidthEnv)
+	fmt.Println()
+
+	rep := exec.Default().Report()
+	fmt.Println("execution pool (internal/exec — shared multi-core dispatch):")
+	fmt.Printf("  persistent workers: %d (budget source: %s)\n", rep.Workers, rep.Source)
+	fmt.Printf("  GOMAXPROCS:         %d (pinned at pool creation)\n", rep.GOMAXPROCS)
+	fmt.Printf("  NumCPU:             %d\n", rep.NumCPU)
+	fmt.Printf("  dispatches so far:  %d (busy now: %d)\n", rep.Dispatches, rep.Busy)
 	fmt.Println()
 
 	fmt.Println("kernel tiers (Table I analogue — Go multi-word kernels standing in for SIMD):")

@@ -11,6 +11,15 @@
 // The server sheds load once -max-queue requests are waiting (429) or a
 // request's -request-timeout expires in the queue (503), and drains
 // in-flight requests for -shutdown-grace after SIGINT/SIGTERM.
+//
+// Thread sizing: all replicas dispatch onto ONE persistent worker pool of
+// -threads-total workers, and each inference uses at most -threads of
+// them. When -replicas × -threads exceeds the machine's cores the server
+// warns and clamps -threads so concurrent replicas cannot oversubscribe
+// (disable with -allow-oversubscribe). With -batch, a replica's forward
+// pass carries up to -max-batch requests, so fewer replicas with more
+// threads each is usually the right trade — batching raises per-pass
+// work, not pass concurrency.
 package main
 
 import (
@@ -19,10 +28,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"bitflow/internal/bench"
+	"bitflow/internal/exec"
 	"bitflow/internal/graph"
 	"bitflow/internal/sched"
 	"bitflow/internal/serve"
@@ -33,6 +44,11 @@ var (
 	flagAddr     = flag.String("addr", ":8080", "listen address")
 	flagReplicas = flag.Int("replicas", bench.PhysicalCores(), "network clones for concurrent requests")
 	flagThreads  = flag.Int("threads", 1, "worker threads per inference")
+
+	flagThreadsTotal = flag.Int("threads-total", runtime.NumCPU(),
+		"process-wide worker-pool size shared by all replicas")
+	flagAllowOversub = flag.Bool("allow-oversubscribe", false,
+		"skip clamping -threads when replicas×threads exceeds the core count")
 
 	flagBatch       = flag.Bool("batch", false, "enable dynamic micro-batching (trades up to -batch-window of latency for throughput)")
 	flagBatchWindow = flag.Duration("batch-window", 2*time.Millisecond, "max wait for a batch to fill before dispatching (with -batch)")
@@ -68,7 +84,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bitflow-serve: %v\n", err)
 		os.Exit(1)
 	}
-	net.Threads = *flagThreads
+	// One process-wide pool for every replica; per-inference budget
+	// clamped so concurrent replicas cannot oversubscribe the cores.
+	threads := *flagThreads
+	if !*flagAllowOversub {
+		clamped, did := exec.ClampThreads(threads, *flagReplicas, runtime.NumCPU())
+		if did {
+			fmt.Fprintf(os.Stderr,
+				"bitflow-serve: %d replicas × %d threads oversubscribes %d cores; clamping -threads to %d (use -allow-oversubscribe to keep %d)\n",
+				*flagReplicas, threads, runtime.NumCPU(), clamped, threads)
+			threads = clamped
+		}
+	}
+	pool := exec.NewPool(*flagThreadsTotal)
+	pool.SetSource("-threads-total")
 
 	srv := serve.NewWithConfig(net, serve.Config{
 		Replicas:       *flagReplicas,
@@ -77,6 +106,7 @@ func main() {
 		Batching:       *flagBatch,
 		BatchWindow:    *flagBatchWindow,
 		MaxBatch:       *flagMaxBatch,
+		Exec:           exec.Pooled(pool, threads),
 	})
 	if !srv.Ready() {
 		fmt.Fprintln(os.Stderr, "bitflow-serve: warm-up inference failed; serving anyway, /readyz stays 503")
@@ -89,6 +119,9 @@ func main() {
 	fmt.Printf("serving %s (%dx%dx%d → %d classes) on %s with %d replica(s), queue %d, deadline %s\n",
 		net.Name, net.InH, net.InW, net.InC, net.Classes, *flagAddr, eff.Replicas,
 		eff.MaxQueue, eff.RequestTimeout)
+	rep := pool.Report()
+	fmt.Printf("exec pool: %d worker(s) (%s), %d thread(s)/inference, GOMAXPROCS %d, %d CPU(s)\n",
+		rep.Workers, rep.Source, threads, rep.GOMAXPROCS, rep.NumCPU)
 	if eff.Batching {
 		fmt.Printf("micro-batching on: window %s, max batch %d\n", eff.BatchWindow, eff.MaxBatch)
 	}

@@ -18,6 +18,7 @@ import (
 	"bitflow/internal/baseline"
 	"bitflow/internal/bitpack"
 	"bitflow/internal/core"
+	"bitflow/internal/exec"
 	"bitflow/internal/sched"
 	"bitflow/internal/tensor"
 	"bitflow/internal/workload"
@@ -56,7 +57,7 @@ func main() {
 		bitpack.PackTensorInto(inSign, packed)
 		out := tensor.New(shape.OutH, shape.OutW, shape.OutC)
 		t0 := time.Now()
-		mc.Forward(packed, out, 1)
+		mc.Forward(packed, out, exec.Serial())
 		dur := time.Since(t0)
 
 		bases, alphas, _ := core.FitMultiBase(filt, m)
@@ -78,7 +79,7 @@ func main() {
 		mb.PackPlanes(in, planes)
 		out := tensor.New(shape.OutH, shape.OutW, shape.OutC)
 		t0 := time.Now()
-		mb.Forward(planes, out, 1)
+		mb.Forward(planes, out, exec.Serial())
 		dur := time.Since(t0)
 		fmt.Printf("  %-6d %-12v %.4f\n", bits, dur.Round(10*time.Microsecond), relErr(out, actTarget))
 	}

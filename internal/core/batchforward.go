@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bitflow/internal/bitpack"
+	"bitflow/internal/exec"
 	"bitflow/internal/kernels"
 )
 
@@ -21,15 +22,15 @@ import (
 // images are gathered into contiguous blocks, then each packed filter is
 // applied to the whole batch with a single batched-kernel call. ins and
 // outs must be pairwise legal ForwardPacked arguments; buffers must not
-// alias across images. threads splits the fused OutH·OutW dimension, as
-// in ForwardPacked.
-func (cv *Conv) ForwardPackedBatch(ins, outs []*bitpack.Packed, threads int) {
+// alias across images. ec splits the fused OutH·OutW dimension, as in
+// ForwardPacked.
+func (cv *Conv) ForwardPackedBatch(ins, outs []*bitpack.Packed, ec *exec.Ctx) {
 	B := len(ins)
 	if B == 0 || len(outs) != B {
 		panic(fmt.Sprintf("core: conv batch %d inputs, %d outputs", B, len(outs)))
 	}
 	if B == 1 {
-		cv.ForwardPacked(ins[0], outs[0], threads)
+		cv.ForwardPacked(ins[0], outs[0], ec)
 		return
 	}
 	s := cv.Shape
@@ -50,7 +51,7 @@ func (cv *Conv) ForwardPackedBatch(ins, outs []*bitpack.Packed, threads int) {
 	n32 := int32(cv.validLanes)
 	act := cv.act
 	total := s.OutH * s.OutW
-	parallelFor(total, threads, func(start, end int) {
+	ec.ParallelFor(total, func(start, end int) {
 		// Per-worker scratch: gathered inputs (image-major, S words each),
 		// one accumulator per image, and the packed output words of the
 		// current pixel for every image.
@@ -97,7 +98,7 @@ func (cv *Conv) ForwardPackedBatch(ins, outs []*bitpack.Packed, threads int) {
 // ForwardBatch computes the K inner products of B packed activation rows
 // in one bgemm call with M = B: every packed weight row streams through
 // the cache once per batch. out[b] receives image b's K products.
-func (d *Dense) ForwardBatch(ins [][]uint64, outs [][]int32, threads int) {
+func (d *Dense) ForwardBatch(ins [][]uint64, outs [][]int32, ec *exec.Ctx) {
 	B := len(ins)
 	if B == 0 || len(outs) != B {
 		panic(fmt.Sprintf("core: dense batch %d inputs, %d outputs", B, len(outs)))
@@ -116,7 +117,7 @@ func (d *Dense) ForwardBatch(ins [][]uint64, outs [][]int32, threads int) {
 	}
 	out := make([]int32, B*d.Shape.K)
 	opts := kernels.BGemmOpts{Kernel: d.Plan.Kernel}
-	kernels.BGemmParallel(a, B, d.weights.Words, d.Shape.K, d.Plan.Words, d.Shape.N, out, opts, threads)
+	kernels.BGemmExec(a, B, d.weights.Words, d.Shape.K, d.Plan.Words, d.Shape.N, out, opts, ec)
 	for b := 0; b < B; b++ {
 		copy(outs[b], out[b*d.Shape.K:(b+1)*d.Shape.K])
 	}
@@ -124,13 +125,13 @@ func (d *Dense) ForwardBatch(ins [][]uint64, outs [][]int32, threads int) {
 
 // ForwardPackedBatch is ForwardPacked over B images: one bgemm with
 // M = B, then the fused sign/threshold activation packed per image.
-func (d *Dense) ForwardPackedBatch(ins, outs [][]uint64, threads int) {
+func (d *Dense) ForwardPackedBatch(ins, outs [][]uint64, ec *exec.Ctx) {
 	B := len(ins)
 	if B == 0 || len(outs) != B {
 		panic(fmt.Sprintf("core: dense batch %d inputs, %d outputs", B, len(outs)))
 	}
 	if B == 1 {
-		d.ForwardPacked(ins[0], outs[0], threads)
+		d.ForwardPacked(ins[0], outs[0], ec)
 		return
 	}
 	tmp := make([][]int32, B)
@@ -138,7 +139,7 @@ func (d *Dense) ForwardPackedBatch(ins, outs [][]uint64, threads int) {
 	for b := 0; b < B; b++ {
 		tmp[b] = flat[b*d.Shape.K : (b+1)*d.Shape.K]
 	}
-	d.ForwardBatch(ins, tmp, threads)
+	d.ForwardBatch(ins, tmp, ec)
 	for b := 0; b < B; b++ {
 		if len(outs[b]) < bitpack.WordsFor(d.Shape.K) {
 			panic("core: dense packed output too short")
@@ -149,13 +150,13 @@ func (d *Dense) ForwardPackedBatch(ins, outs [][]uint64, threads int) {
 
 // ForwardFloatBatch is ForwardFloat over B images: one bgemm with M = B,
 // then the float conversion and optional affine per image.
-func (d *Dense) ForwardFloatBatch(ins [][]uint64, outs [][]float32, threads int) {
+func (d *Dense) ForwardFloatBatch(ins [][]uint64, outs [][]float32, ec *exec.Ctx) {
 	B := len(ins)
 	if B == 0 || len(outs) != B {
 		panic(fmt.Sprintf("core: dense batch %d inputs, %d outputs", B, len(outs)))
 	}
 	if B == 1 {
-		d.ForwardFloat(ins[0], outs[0], threads)
+		d.ForwardFloat(ins[0], outs[0], ec)
 		return
 	}
 	tmp := make([][]int32, B)
@@ -163,7 +164,7 @@ func (d *Dense) ForwardFloatBatch(ins [][]uint64, outs [][]float32, threads int)
 	for b := 0; b < B; b++ {
 		tmp[b] = flat[b*d.Shape.K : (b+1)*d.Shape.K]
 	}
-	d.ForwardBatch(ins, tmp, threads)
+	d.ForwardBatch(ins, tmp, ec)
 	for b := 0; b < B; b++ {
 		if d.affine != nil {
 			d.affine.Apply(tmp[b], outs[b])

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"bitflow/internal/bitpack"
+	"bitflow/internal/exec"
 	"bitflow/internal/sched"
 	"bitflow/internal/workload"
 )
@@ -52,9 +53,9 @@ func TestConvForwardPackedBatchBitIdentical(t *testing.T) {
 					outs[b] = bitpack.NewPacked(shape.OutH, shape.OutW, g.k, outWords, 1, 1)
 					want[b] = bitpack.NewPacked(shape.OutH, shape.OutW, g.k, outWords, 1, 1)
 				}
-				cv.ForwardPackedBatch(ins, outs, 1)
+				cv.ForwardPackedBatch(ins, outs, exec.Serial())
 				for b := 0; b < B; b++ {
-					cv.ForwardPacked(ins[b], want[b], 1)
+					cv.ForwardPacked(ins[b], want[b], exec.Serial())
 					for i := range want[b].Words {
 						if outs[b].Words[i] != want[b].Words[i] {
 							t.Fatalf("B=%d image %d word %d: batched differs from sequential", B, b, i)
@@ -117,9 +118,9 @@ func TestDenseBatchBitIdentical(t *testing.T) {
 			outs[b] = make([]uint64, bitpack.WordsFor(K))
 			want[b] = make([]uint64, bitpack.WordsFor(K))
 		}
-		d.ForwardPackedBatch(ins, outs, 1)
+		d.ForwardPackedBatch(ins, outs, exec.Serial())
 		for b := 0; b < B; b++ {
-			d.ForwardPacked(ins[b], want[b], 1)
+			d.ForwardPacked(ins[b], want[b], exec.Serial())
 			for i := range want[b] {
 				if outs[b][i] != want[b][i] {
 					t.Fatalf("packed B=%d image %d word %d differs", B, b, i)
@@ -132,9 +133,9 @@ func TestDenseBatchBitIdentical(t *testing.T) {
 		for b := 0; b < B; b++ {
 			foutsB[b] = make([]float32, K)
 		}
-		d.ForwardFloatBatch(ins, foutsB, 1)
+		d.ForwardFloatBatch(ins, foutsB, exec.Serial())
 		for b := 0; b < B; b++ {
-			d.ForwardFloat(ins[b], fwant, 1)
+			d.ForwardFloat(ins[b], fwant, exec.Serial())
 			for i := range fwant {
 				if foutsB[b][i] != fwant[i] {
 					t.Fatalf("float B=%d image %d logit %d differs", B, b, i)

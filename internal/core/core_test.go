@@ -6,6 +6,7 @@ import (
 
 	"bitflow/internal/baseline"
 	"bitflow/internal/bitpack"
+	"bitflow/internal/exec"
 	"bitflow/internal/kernels"
 	"bitflow/internal/sched"
 	"bitflow/internal/tensor"
@@ -55,7 +56,7 @@ func TestPressedConvMatchesFloatReference(t *testing.T) {
 	for _, tc := range cases {
 		cv, in, packed := buildConv(t, r, tc.h, tc.w, tc.c, tc.k, tc.kh, tc.kw, tc.stride, tc.pad)
 		out := tensor.New(cv.Shape.OutH, cv.Shape.OutW, cv.Shape.OutC)
-		cv.Forward(packed, out, 1)
+		cv.Forward(packed, out, exec.Serial())
 		// Binarized padding pads bit 0 = feature −1.
 		want := baseline.ConvDirect(in, bitpack.UnpackFilter(cv.Filter()), tc.stride, tc.pad, -1, 1)
 		if !out.Equal(want) {
@@ -88,7 +89,7 @@ func TestPressedConvQuick(t *testing.T) {
 		packed := cv.NewInput()
 		bitpack.PackTensorInto(in, packed)
 		out := tensor.New(shape.OutH, shape.OutW, shape.OutC)
-		cv.Forward(packed, out, 1)
+		cv.Forward(packed, out, exec.Serial())
 		want := baseline.ConvDirect(in, filt.Sign(), 1, pad, -1, 1)
 		return out.Equal(want)
 	}
@@ -101,10 +102,10 @@ func TestPressedConvThreadsAgree(t *testing.T) {
 	r := workload.NewRNG(41)
 	cv, _, packed := buildConv(t, r, 12, 10, 128, 8, 3, 3, 1, 1)
 	serial := tensor.New(cv.Shape.OutH, cv.Shape.OutW, cv.Shape.OutC)
-	cv.Forward(packed, serial, 1)
+	cv.Forward(packed, serial, exec.Serial())
 	for _, threads := range []int{2, 4, 16, 1000} {
 		out := tensor.New(cv.Shape.OutH, cv.Shape.OutW, cv.Shape.OutC)
-		cv.Forward(packed, out, threads)
+		cv.Forward(packed, out, exec.Threads(threads))
 		if !out.Equal(serial) {
 			t.Errorf("threads=%d: output differs from serial", threads)
 		}
@@ -116,10 +117,10 @@ func TestForwardPackedIsSignOfForward(t *testing.T) {
 	for _, c := range []int{64, 128, 100, 512} {
 		cv, _, packed := buildConv(t, r, 6, 6, c, 70, 3, 3, 1, 1)
 		raw := tensor.New(cv.Shape.OutH, cv.Shape.OutW, cv.Shape.OutC)
-		cv.Forward(packed, raw, 2)
+		cv.Forward(packed, raw, exec.Threads(2))
 		outPlan := sched.Select(cv.Shape.OutC, feat())
 		pOut := bitpack.NewPacked(cv.Shape.OutH, cv.Shape.OutW, cv.Shape.OutC, outPlan.Words, 1, 1)
-		cv.ForwardPacked(packed, pOut, 2)
+		cv.ForwardPacked(packed, pOut, exec.Threads(2))
 		want := raw.Sign()
 		got := bitpack.Unpack(pOut)
 		if !got.Equal(want) {
@@ -141,7 +142,7 @@ func TestConvZeroCostPaddingEqualsExplicitPad(t *testing.T) {
 	r := workload.NewRNG(43)
 	cv, in, packed := buildConv(t, r, 6, 6, 64, 4, 3, 3, 1, 1)
 	out := tensor.New(cv.Shape.OutH, cv.Shape.OutW, cv.Shape.OutC)
-	cv.Forward(packed, out, 1)
+	cv.Forward(packed, out, exec.Serial())
 
 	padded := in.PadSpatial(1, -1)
 	want := baseline.ConvDirect(padded, bitpack.UnpackFilter(cv.Filter()), 1, 0, 0, 1)
@@ -173,19 +174,19 @@ func TestConvInputValidationPanics(t *testing.T) {
 	cases := map[string]func(){
 		"wrong interior": func() {
 			bad := bitpack.NewPacked(4, 5, 64, 1, 1, 1)
-			cv.Forward(bad, out, 1)
+			cv.Forward(bad, out, exec.Serial())
 		},
 		"wrong wpp": func() {
 			bad := bitpack.NewPacked(5, 5, 64, 2, 1, 1)
-			cv.Forward(bad, out, 1)
+			cv.Forward(bad, out, exec.Serial())
 		},
 		"missing margin": func() {
 			bad := bitpack.NewPacked(5, 5, 64, 1, 0, 0)
-			cv.Forward(bad, out, 1)
+			cv.Forward(bad, out, exec.Serial())
 		},
 		"wrong output": func() {
 			good := cv.NewInput()
-			cv.Forward(good, tensor.New(1, 1, 1), 1)
+			cv.Forward(good, tensor.New(1, 1, 1), exec.Serial())
 		},
 	}
 	for name, fn := range cases {
@@ -221,7 +222,7 @@ func TestPoolMatchesFloatReference(t *testing.T) {
 		in := workload.PM1Tensor(r, tc.h, tc.w, tc.c)
 		pin := bitpack.PackTensor(in, wpp, 0, 0)
 		pout := bitpack.NewPacked(shape.OutH, shape.OutW, shape.OutC, wpp, 0, 0)
-		pl.Forward(pin, pout, 1)
+		pl.Forward(pin, pout, exec.Serial())
 		got := bitpack.Unpack(pout)
 		want := baseline.MaxPoolFloat(in, tc.kh, tc.kw, tc.stride, 1)
 		if !got.Equal(want) {
@@ -238,10 +239,10 @@ func TestPoolThreadsAgree(t *testing.T) {
 	in := workload.PM1Tensor(r, 8, 8, 512)
 	pin := bitpack.PackTensor(in, wpp, 0, 0)
 	serial := bitpack.NewPacked(shape.OutH, shape.OutW, shape.OutC, wpp, 0, 0)
-	pl.Forward(pin, serial, 1)
+	pl.Forward(pin, serial, exec.Serial())
 	for _, threads := range []int{2, 7, 64} {
 		out := bitpack.NewPacked(shape.OutH, shape.OutW, shape.OutC, wpp, 0, 0)
-		pl.Forward(pin, out, threads)
+		pl.Forward(pin, out, exec.Threads(threads))
 		for i := range serial.Words {
 			if out.Words[i] != serial.Words[i] {
 				t.Fatalf("threads=%d differs at word %d", threads, i)
@@ -259,7 +260,7 @@ func TestPoolIntoMarginedOutput(t *testing.T) {
 	in := workload.PM1Tensor(r, 4, 4, 64)
 	pin := bitpack.PackTensor(in, 1, 0, 0)
 	pout := bitpack.NewPacked(2, 2, 64, 1, 1, 1)
-	pl.Forward(pin, pout, 1)
+	pl.Forward(pin, pout, exec.Serial())
 	if !pout.MarginsAllZero() {
 		t.Error("pool dirtied output margins")
 	}
@@ -297,7 +298,7 @@ func TestDenseMatchesFloatReference(t *testing.T) {
 		in := d.NewInput()
 		bitpack.PackVectorInto(in, inVals)
 		got := make([]int32, tc.k)
-		d.Forward(in, got, 1)
+		d.Forward(in, got, exec.Serial())
 		want := make([]float32, tc.k)
 		baseline.DenseFloat(inVals, w, want, 1)
 		for i := range want {
@@ -323,10 +324,10 @@ func TestDenseForwardVariants(t *testing.T) {
 	bitpack.PackVectorInto(in, inVals)
 
 	ints := make([]int32, k)
-	d.Forward(in, ints, 2)
+	d.Forward(in, ints, exec.Threads(2))
 
 	floats := make([]float32, k)
-	d.ForwardFloat(in, floats, 2)
+	d.ForwardFloat(in, floats, exec.Threads(2))
 	for i := range ints {
 		if floats[i] != float32(ints[i]) {
 			t.Fatalf("ForwardFloat[%d] = %v want %v", i, floats[i], ints[i])
@@ -334,7 +335,7 @@ func TestDenseForwardVariants(t *testing.T) {
 	}
 
 	packedOut := make([]uint64, bitpack.WordsFor(k)+1)
-	d.ForwardPacked(in, packedOut, 2)
+	d.ForwardPacked(in, packedOut, exec.Threads(2))
 	back := bitpack.UnpackVector(packedOut, k)
 	for i := range ints {
 		want := float32(1)
@@ -362,23 +363,10 @@ func TestNewDenseErrors(t *testing.T) {
 	}
 }
 
-func TestParallelFor(t *testing.T) {
-	for _, tc := range []struct{ total, threads int }{
-		{0, 4}, {1, 4}, {10, 1}, {10, 3}, {10, 10}, {10, 100}, {1000, 7},
-	} {
-		var hit = make([]int32, tc.total)
-		parallelFor(tc.total, tc.threads, func(s, e int) {
-			for i := s; i < e; i++ {
-				hit[i]++
-			}
-		})
-		for i, h := range hit {
-			if h != 1 {
-				t.Fatalf("total=%d threads=%d: index %d visited %d times", tc.total, tc.threads, i, h)
-			}
-		}
-	}
-}
+// The old core-local parallelFor coverage test moved with the dispatcher
+// to internal/exec (TestParallelForCoversRange); the operator-level
+// threads-agree tests in this file keep pinning bit-exactness across
+// budgets end to end.
 
 // InferTestConv and testPlan are shared helpers for the extension tests:
 // a 3×3/1/1 convolution geometry and its scheduler plan.

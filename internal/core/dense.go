@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bitflow/internal/bitpack"
+	"bitflow/internal/exec"
 	"bitflow/internal/kernels"
 	"bitflow/internal/sched"
 	"bitflow/internal/tensor"
@@ -90,9 +91,9 @@ func (d *Dense) OutAffine() *Affine { return d.affine }
 func (d *Dense) NewInput() []uint64 { return make([]uint64, d.Plan.Words) }
 
 // Forward computes the K inner products of the packed activation row in
-// (Plan.Words words, N valid bits) into out (len K). threads splits the
+// (Plan.Words words, N valid bits) into out (len K). ec splits the
 // K dimension.
-func (d *Dense) Forward(in []uint64, out []int32, threads int) {
+func (d *Dense) Forward(in []uint64, out []int32, ec *exec.Ctx) {
 	if len(in) != d.Plan.Words {
 		panic(fmt.Sprintf("core: dense input %d words, want %d", len(in), d.Plan.Words))
 	}
@@ -100,14 +101,14 @@ func (d *Dense) Forward(in []uint64, out []int32, threads int) {
 		panic(fmt.Sprintf("core: dense output len %d, want K=%d", len(out), d.Shape.K))
 	}
 	opts := kernels.BGemmOpts{Kernel: d.Plan.Kernel}
-	kernels.BGemmParallel(in, 1, d.weights.Words, d.Shape.K, d.Plan.Words, d.Shape.N, out, opts, threads)
+	kernels.BGemmExec(in, 1, d.weights.Words, d.Shape.K, d.Plan.Words, d.Shape.N, out, opts, ec)
 }
 
 // ForwardFloat is Forward plus a float conversion and the optional
 // affine (batch-norm/bias) post-processing — the final classifier path.
-func (d *Dense) ForwardFloat(in []uint64, out []float32, threads int) {
+func (d *Dense) ForwardFloat(in []uint64, out []float32, ec *exec.Ctx) {
 	tmp := make([]int32, d.Shape.K)
-	d.Forward(in, tmp, threads)
+	d.Forward(in, tmp, ec)
 	if d.affine != nil {
 		d.affine.Apply(tmp, out)
 		return
@@ -120,9 +121,9 @@ func (d *Dense) ForwardFloat(in []uint64, out []float32, threads int) {
 // ForwardPacked computes the K inner products and writes their sign bits
 // into out (≥ WordsFor(K) words, trailing lanes cleared) — the fused
 // activation for fc→fc chains (fc6 → sign → fc7).
-func (d *Dense) ForwardPacked(in []uint64, out []uint64, threads int) {
+func (d *Dense) ForwardPacked(in []uint64, out []uint64, ec *exec.Ctx) {
 	tmp := make([]int32, d.Shape.K)
-	d.Forward(in, tmp, threads)
+	d.Forward(in, tmp, ec)
 	if len(out) < bitpack.WordsFor(d.Shape.K) {
 		panic("core: dense packed output too short")
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bitflow/internal/bitpack"
+	"bitflow/internal/exec"
 	"bitflow/internal/sched"
 	"bitflow/internal/tensor"
 )
@@ -53,9 +54,9 @@ func (fc *FloatConv) SetAffine(a *Affine) error {
 }
 
 // Forward convolves the float input and writes sign bits into out's
-// interior (margins untouched, tail lanes cleared). threads splits the
+// interior (margins untouched, tail lanes cleared). ec splits the
 // fused OutH·OutW dimension.
-func (fc *FloatConv) Forward(in *tensor.Tensor, out *bitpack.Packed, threads int) {
+func (fc *FloatConv) Forward(in *tensor.Tensor, out *bitpack.Packed, ec *exec.Ctx) {
 	s := fc.Shape
 	if in.H != s.InH || in.W != s.InW || in.C != s.InC {
 		panic(fmt.Sprintf("core: float conv input %v, want %dx%dx%d", in, s.InH, s.InW, s.InC))
@@ -64,7 +65,7 @@ func (fc *FloatConv) Forward(in *tensor.Tensor, out *bitpack.Packed, threads int
 		panic(fmt.Sprintf("core: float conv output %v, want %dx%dx%d", out, s.OutH, s.OutW, s.OutC))
 	}
 	total := s.OutH * s.OutW
-	parallelFor(total, threads, func(start, end int) {
+	ec.ParallelFor(total, func(start, end int) {
 		dots := make([]float32, s.K)
 		for idx := start; idx < end; idx++ {
 			y := idx / s.OutW

@@ -6,6 +6,7 @@ import (
 
 	"bitflow/internal/baseline"
 	"bitflow/internal/bitpack"
+	"bitflow/internal/exec"
 	"bitflow/internal/sched"
 	"bitflow/internal/workload"
 )
@@ -29,7 +30,7 @@ func TestFloatConvMatchesBaselineConv(t *testing.T) {
 			t.Fatal(err)
 		}
 		out := bitpack.NewPacked(shape.OutH, shape.OutW, shape.OutC, bitpack.WordsFor(shape.OutC), 1, 1)
-		fc.Forward(in, out, 2)
+		fc.Forward(in, out, exec.Threads(2))
 		got := bitpack.Unpack(out)
 		// Reference: float conv with zero padding, then sign.
 		want := baseline.ConvDirect(in, filt, tc.stride, tc.pad, 0, 1).Sign()
@@ -63,7 +64,7 @@ func TestFloatConvQuick(t *testing.T) {
 			return false
 		}
 		out := bitpack.NewPacked(shape.OutH, shape.OutW, k, bitpack.WordsFor(k), 0, 0)
-		fc.Forward(in, out, 1)
+		fc.Forward(in, out, exec.Serial())
 		want := baseline.ConvDirect(in, filt, 1, 1, 0, 1).Sign()
 		return bitpack.Unpack(out).Equal(want)
 	}
@@ -86,7 +87,7 @@ func TestFloatConvAffine(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := bitpack.NewPacked(5, 5, 6, 1, 0, 0)
-	fc.Forward(in, out, 1)
+	fc.Forward(in, out, exec.Serial())
 	got := bitpack.Unpack(out)
 
 	raw := baseline.ConvDirect(in, filt, 1, 1, 0, 1)
@@ -126,7 +127,7 @@ func TestFloatConvInputValidationPanics(t *testing.T) {
 			t.Error("wrong input shape did not panic")
 		}
 	}()
-	fc.Forward(workload.RandTensor(r, 4, 5, 3), out, 1)
+	fc.Forward(workload.RandTensor(r, 4, 5, 3), out, exec.Serial())
 }
 
 func TestFloatConvFilterIsCopied(t *testing.T) {
@@ -136,13 +137,13 @@ func TestFloatConvFilterIsCopied(t *testing.T) {
 	fc, _ := NewFloatConv(shape, filt)
 	in := workload.RandTensor(r, 4, 4, 2)
 	out := bitpack.NewPacked(4, 4, 3, 1, 0, 0)
-	fc.Forward(in, out, 1)
+	fc.Forward(in, out, exec.Serial())
 	before := append([]uint64(nil), out.Words...)
 	// Mutating the caller's filter must not affect the operator.
 	for i := range filt.Data {
 		filt.Data[i] = -filt.Data[i]
 	}
-	fc.Forward(in, out, 1)
+	fc.Forward(in, out, exec.Serial())
 	for i := range before {
 		if out.Words[i] != before[i] {
 			t.Fatal("operator aliased the caller's filter storage")

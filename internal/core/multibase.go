@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"bitflow/internal/bitpack"
+	"bitflow/internal/exec"
 	"bitflow/internal/kernels"
 	"bitflow/internal/sched"
 	"bitflow/internal/tensor"
@@ -109,7 +110,7 @@ func (mc *MultiBaseConv) NewInput() *bitpack.Packed {
 // Forward computes the M-base approximation into out (float32,
 // OutH×OutW×K). Inputs are binary (packed); only the weights gain
 // precision from the extra bases.
-func (mc *MultiBaseConv) Forward(in *bitpack.Packed, out *tensor.Tensor, threads int) {
+func (mc *MultiBaseConv) Forward(in *bitpack.Packed, out *tensor.Tensor, ec *exec.Ctx) {
 	s := mc.Shape
 	if in.H != s.InH || in.W != s.InW || in.C != s.InC || in.WPP != mc.Plan.Words {
 		panic(fmt.Sprintf("core: multibase input %v, want %dx%dx%d wpp=%d", in, s.InH, s.InW, s.InC, mc.Plan.Words))
@@ -121,7 +122,7 @@ func (mc *MultiBaseConv) Forward(in *bitpack.Packed, out *tensor.Tensor, threads
 		panic(fmt.Sprintf("core: multibase output %v, want %dx%dx%d", out, s.OutH, s.OutW, s.OutC))
 	}
 	total := s.OutH * s.OutW
-	parallelFor(total, threads, func(start, end int) {
+	ec.ParallelFor(total, func(start, end int) {
 		for idx := start; idx < end; idx++ {
 			y := idx / s.OutW
 			x := idx % s.OutW

@@ -6,6 +6,7 @@ import (
 
 	"bitflow/internal/baseline"
 	"bitflow/internal/bitpack"
+	"bitflow/internal/exec"
 	"bitflow/internal/sched"
 	"bitflow/internal/tensor"
 	"bitflow/internal/workload"
@@ -77,7 +78,7 @@ func TestMultiBaseConvEqualsExplicitCombination(t *testing.T) {
 	packed := mc.NewInput()
 	bitpack.PackTensorInto(in, packed)
 	got := tensor.New(shape.OutH, shape.OutW, shape.OutC)
-	mc.Forward(packed, got, 2)
+	mc.Forward(packed, got, exec.Threads(2))
 
 	bases, alphas, _ := FitMultiBase(f, M)
 	want := tensor.New(shape.OutH, shape.OutW, shape.OutC)
@@ -87,7 +88,7 @@ func TestMultiBaseConvEqualsExplicitCombination(t *testing.T) {
 			t.Fatal(err)
 		}
 		part := tensor.New(shape.OutH, shape.OutW, shape.OutC)
-		cv.Forward(packed, part, 1)
+		cv.Forward(packed, part, exec.Serial())
 		for i := range want.Data {
 			want.Data[i] += alphas[m][i%shape.OutC] * part.Data[i]
 		}
@@ -122,7 +123,7 @@ func TestMultiBaseApproachesFloatConv(t *testing.T) {
 		packed := mc.NewInput()
 		bitpack.PackTensorInto(in, packed)
 		out := tensor.New(shape.OutH, shape.OutW, shape.OutC)
-		mc.Forward(packed, out, 1)
+		mc.Forward(packed, out, exec.Serial())
 		var errSq float64
 		for i := range out.Data {
 			d := float64(out.Data[i] - target.Data[i])
@@ -165,9 +166,9 @@ func TestMultiBaseThreadsAgree(t *testing.T) {
 	packed := mc.NewInput()
 	bitpack.PackTensorInto(workload.PM1Tensor(r, 8, 8, 128), packed)
 	serial := tensor.New(shape.OutH, shape.OutW, shape.OutC)
-	mc.Forward(packed, serial, 1)
+	mc.Forward(packed, serial, exec.Serial())
 	par := tensor.New(shape.OutH, shape.OutW, shape.OutC)
-	mc.Forward(packed, par, 7)
+	mc.Forward(packed, par, exec.Threads(7))
 	if !serial.Equal(par) {
 		t.Error("threaded multibase differs from serial")
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"bitflow/internal/bitpack"
+	"bitflow/internal/exec"
 	"bitflow/internal/sched"
 	"bitflow/internal/tensor"
 )
@@ -124,7 +125,7 @@ func (mb *MultiBitConv) PackPlanes(in *tensor.Tensor, planes []*bitpack.Packed) 
 // Forward computes the multi-bit convolution into out (float32). Padding
 // quantizes like activation value Lo (all plane bits clear), mirroring
 // DoReFa's clamp-to-zero padding when Lo = 0.
-func (mb *MultiBitConv) Forward(planes []*bitpack.Packed, out *tensor.Tensor, threads int) {
+func (mb *MultiBitConv) Forward(planes []*bitpack.Packed, out *tensor.Tensor, ec *exec.Ctx) {
 	s := mb.Shape
 	if out.H != s.OutH || out.W != s.OutW || out.C != s.OutC {
 		panic(fmt.Sprintf("core: multibit output %v, want %dx%dx%d", out, s.OutH, s.OutW, s.OutC))
@@ -137,7 +138,7 @@ func (mb *MultiBitConv) Forward(planes []*bitpack.Packed, out *tensor.Tensor, th
 	out.Zero()
 	step := mb.step()
 	for t := 0; t < mb.Bits; t++ {
-		mb.conv.Forward(planes[t], scratch, threads)
+		mb.conv.Forward(planes[t], scratch, ec)
 		w := step * float32(int32(1)<<uint(t)) / 2
 		for i, v := range scratch.Data {
 			out.Data[i] += w * v

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"bitflow/internal/exec"
 	"bitflow/internal/tensor"
 	"bitflow/internal/workload"
 )
@@ -40,7 +41,7 @@ func TestMultiBitMatchesQuantizedReference(t *testing.T) {
 		planes := mb.NewPlanes()
 		mb.PackPlanes(in, planes)
 		out := tensor.New(mb.Shape.OutH, mb.Shape.OutW, mb.Shape.OutC)
-		mb.Forward(planes, out, 2)
+		mb.Forward(planes, out, exec.Threads(2))
 		want := mb.Reference(in, f.Sign())
 		if d := out.MaxAbsDiff(want); d > 1e-3 {
 			t.Errorf("%+v: multibit vs reference max diff %g", tc, d)
@@ -67,7 +68,7 @@ func TestMultiBitQuick(t *testing.T) {
 		planes := mb.NewPlanes()
 		mb.PackPlanes(in, planes)
 		out := tensor.New(shape.OutH, shape.OutW, shape.OutC)
-		mb.Forward(planes, out, 1)
+		mb.Forward(planes, out, exec.Serial())
 		return out.MaxAbsDiff(mb.Reference(in, filt.Sign())) < 1e-3
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
@@ -132,7 +133,7 @@ func TestMultiBitPrecisionImprovesWithBits(t *testing.T) {
 		planes := mb.NewPlanes()
 		mb.PackPlanes(in, planes)
 		out := tensor.New(shape.OutH, shape.OutW, shape.OutC)
-		mb.Forward(planes, out, 1)
+		mb.Forward(planes, out, exec.Serial())
 		errNow := out.MaxAbsDiff(trueRef)
 		if errNow >= prev {
 			t.Errorf("bits=%d: error %.4f did not decrease (prev %.4f)", bits, errNow, prev)

@@ -1,30 +1,9 @@
 package core
 
-// parallelFor splits [0, total) into at most `threads` contiguous chunks
-// and runs body on each chunk concurrently, blocking until all complete.
-// threads <= 1 (or a trivially small range) runs inline. This is the
-// multi-core engine for the paper's "fused H and W dimension" split: the
-// caller hands the flattened output-pixel index space to body.
-func parallelFor(total, threads int, body func(start, end int)) {
-	if threads <= 1 || total <= 1 {
-		body(0, total)
-		return
-	}
-	if threads > total {
-		threads = total
-	}
-	chunk := (total + threads - 1) / threads
-	done := make(chan struct{}, threads)
-	n := 0
-	for start := 0; start < total; start += chunk {
-		end := min(start+chunk, total)
-		n++
-		go func(s, e int) {
-			body(s, e)
-			done <- struct{}{}
-		}(start, end)
-	}
-	for i := 0; i < n; i++ {
-		<-done
-	}
-}
+// Multi-core dispatch for the paper's "fused H and W dimension" split
+// lives in internal/exec: operators hand the flattened output-pixel index
+// space to (*exec.Ctx).ParallelFor, which runs it on a persistent worker
+// pool (or inline for serial/nil contexts) with chunk panics re-raised on
+// the caller's goroutine. The old per-call parallelFor — fresh goroutines
+// on every layer of every request, panics escaping on unjoined
+// goroutines — is gone; see internal/exec's package comment for why.

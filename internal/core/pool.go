@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bitflow/internal/bitpack"
+	"bitflow/internal/exec"
 	"bitflow/internal/kernels"
 	"bitflow/internal/sched"
 )
@@ -29,9 +30,9 @@ func NewPool(shape sched.PoolShape, wpp int) (*Pool, error) {
 }
 
 // Forward OR-reduces each KH×KW window of in into out. in and out must
-// both have WPP words per pixel; out margins are untouched. threads
-// splits the fused OutH·OutW dimension.
-func (pl *Pool) Forward(in, out *bitpack.Packed, threads int) {
+// both have WPP words per pixel; out margins are untouched. ec splits
+// the fused OutH·OutW dimension.
+func (pl *Pool) Forward(in, out *bitpack.Packed, ec *exec.Ctx) {
 	s := pl.Shape
 	if in.H != s.InH || in.W != s.InW || in.C != s.InC || in.WPP != pl.WPP {
 		panic(fmt.Sprintf("core: pool input %v, want %dx%dx%d wpp=%d", in, s.InH, s.InW, s.InC, pl.WPP))
@@ -42,7 +43,7 @@ func (pl *Pool) Forward(in, out *bitpack.Packed, threads int) {
 	total := s.OutH * s.OutW
 	wpp := pl.WPP
 	rowLen := s.KW * wpp
-	parallelFor(total, threads, func(start, end int) {
+	ec.ParallelFor(total, func(start, end int) {
 		for idx := start; idx < end; idx++ {
 			y := idx / s.OutW
 			x := idx % s.OutW

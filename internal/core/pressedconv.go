@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bitflow/internal/bitpack"
+	"bitflow/internal/exec"
 	"bitflow/internal/kernels"
 	"bitflow/internal/sched"
 	"bitflow/internal/tensor"
@@ -121,16 +122,16 @@ func (cv *Conv) checkInput(in *bitpack.Packed) {
 }
 
 // Forward computes raw pre-activation outputs into out (OutH×OutW×K).
-// Outputs are exact integer inner products stored as float32. threads
+// Outputs are exact integer inner products stored as float32. ec
 // controls the multi-core split over the fused OutH·OutW dimension.
-func (cv *Conv) Forward(in *bitpack.Packed, out *tensor.Tensor, threads int) {
+func (cv *Conv) Forward(in *bitpack.Packed, out *tensor.Tensor, ec *exec.Ctx) {
 	cv.checkInput(in)
 	s := cv.Shape
 	if out.H != s.OutH || out.W != s.OutW || out.C != s.OutC {
 		panic(fmt.Sprintf("core: conv output %v, want %dx%dx%d", out, s.OutH, s.OutW, s.OutC))
 	}
 	total := s.OutH * s.OutW
-	parallelFor(total, threads, func(start, end int) {
+	ec.ParallelFor(total, func(start, end int) {
 		for idx := start; idx < end; idx++ {
 			y := idx / s.OutW
 			x := idx % s.OutW
@@ -142,14 +143,14 @@ func (cv *Conv) Forward(in *bitpack.Packed, out *tensor.Tensor, threads int) {
 // ForwardPacked computes outputs with the sign activation fused and
 // bit-packed directly into out's interior (zero-cost padding for the next
 // layer: out's margins stay untouched). out must be OutH×OutW with C = K.
-func (cv *Conv) ForwardPacked(in *bitpack.Packed, out *bitpack.Packed, threads int) {
+func (cv *Conv) ForwardPacked(in *bitpack.Packed, out *bitpack.Packed, ec *exec.Ctx) {
 	cv.checkInput(in)
 	s := cv.Shape
 	if out.H != s.OutH || out.W != s.OutW || out.C != s.OutC {
 		panic(fmt.Sprintf("core: conv packed output %v, want %dx%dx%d", out, s.OutH, s.OutW, s.OutC))
 	}
 	total := s.OutH * s.OutW
-	parallelFor(total, threads, func(start, end int) {
+	ec.ParallelFor(total, func(start, end int) {
 		for idx := start; idx < end; idx++ {
 			y := idx / s.OutW
 			x := idx % s.OutW

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"bitflow/internal/bitpack"
+	"bitflow/internal/exec"
 	"bitflow/internal/sched"
 	"bitflow/internal/tensor"
 	"bitflow/internal/workload"
@@ -143,7 +144,7 @@ func TestConvWithThresholdsMatchesFloatBN(t *testing.T) {
 	const eps = 1e-5
 	cv, _, packed := buildConv(t, r, 6, 6, 128, 16, 3, 3, 1, 1)
 	raw := tensor.New(cv.Shape.OutH, cv.Shape.OutW, cv.Shape.OutC)
-	cv.Forward(packed, raw, 1)
+	cv.Forward(packed, raw, exec.Serial())
 
 	gamma, beta, mean, variance := randBN(r, 16)
 	th, err := FoldBatchNorm(gamma, beta, mean, variance, eps)
@@ -154,7 +155,7 @@ func TestConvWithThresholdsMatchesFloatBN(t *testing.T) {
 		t.Fatal(err)
 	}
 	pOut := bitpack.NewPacked(cv.Shape.OutH, cv.Shape.OutW, 16, 1, 0, 0)
-	cv.ForwardPacked(packed, pOut, 2)
+	cv.ForwardPacked(packed, pOut, exec.Threads(2))
 	got := bitpack.Unpack(pOut)
 
 	for h := 0; h < raw.H; h++ {
@@ -175,7 +176,7 @@ func TestConvWithThresholdsMatchesFloatBN(t *testing.T) {
 	if err := cv.SetThresholds(nil); err != nil {
 		t.Fatal(err)
 	}
-	cv.ForwardPacked(packed, pOut, 1)
+	cv.ForwardPacked(packed, pOut, exec.Serial())
 	if !bitpack.Unpack(pOut).Equal(raw.Sign()) {
 		t.Error("SetThresholds(nil) did not restore the plain sign")
 	}
@@ -207,7 +208,7 @@ func TestDenseWithThresholdsAndAffine(t *testing.T) {
 	in := d.NewInput()
 	bitpack.PackVectorInto(in, inVals)
 	raw := make([]int32, k)
-	d.Forward(in, raw, 1)
+	d.Forward(in, raw, exec.Serial())
 
 	gamma, beta, mean, variance := randBN(r, k)
 
@@ -220,7 +221,7 @@ func TestDenseWithThresholdsAndAffine(t *testing.T) {
 		t.Fatal(err)
 	}
 	packedOut := make([]uint64, bitpack.WordsFor(k))
-	d.ForwardPacked(in, packedOut, 1)
+	d.ForwardPacked(in, packedOut, exec.Serial())
 	bits := bitpack.UnpackVector(packedOut, k)
 	for c := 0; c < k; c++ {
 		want := float32(-1)
@@ -241,7 +242,7 @@ func TestDenseWithThresholdsAndAffine(t *testing.T) {
 		t.Fatal(err)
 	}
 	logits := make([]float32, k)
-	d.ForwardFloat(in, logits, 1)
+	d.ForwardFloat(in, logits, exec.Serial())
 	for c := 0; c < k; c++ {
 		sigma := float32(math.Sqrt(float64(variance[c]) + eps))
 		want := gamma[c]/sigma*(float32(raw[c])-mean[c]) + beta[c]

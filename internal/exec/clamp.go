@@ -1,0 +1,31 @@
+package exec
+
+// ClampThreads bounds a per-replica thread budget so that `replicas`
+// concurrent inferences cannot oversubscribe `cores`: when
+// threads×replicas exceeds cores it returns the largest budget that
+// fits (minimum 1) and reports that clamping occurred. Servers call
+// this at startup — the pool already bounds *pooled* parallelism
+// structurally, but each inference's caller goroutine runs chunks too,
+// so the per-replica budget is what oversubscription rides on.
+func ClampThreads(threads, replicas, cores int) (int, bool) {
+	if threads < 1 {
+		threads = 1
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	if threads*replicas <= cores {
+		return threads, false
+	}
+	b := cores / replicas
+	if b < 1 {
+		b = 1
+	}
+	if b > threads {
+		b = threads
+	}
+	return b, b != threads
+}

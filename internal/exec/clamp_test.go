@@ -1,0 +1,26 @@
+package exec
+
+import "testing"
+
+func TestClampThreads(t *testing.T) {
+	for _, tc := range []struct {
+		threads, replicas, cores int
+		want                     int
+		clamped                  bool
+	}{
+		{4, 2, 8, 4, false},  // fits exactly
+		{4, 2, 16, 4, false}, // plenty of room
+		{4, 4, 8, 2, true},   // 16 demanded on 8 cores → 2 each
+		{8, 3, 8, 2, true},   // integer division floors
+		{4, 16, 8, 1, true},  // more replicas than cores → serial each
+		{1, 16, 8, 1, false}, // already serial: nothing to clamp
+		{0, 0, 0, 1, false},  // degenerate inputs normalize to 1
+		{4, 1, 1, 1, true},   // single-core box
+	} {
+		got, clamped := ClampThreads(tc.threads, tc.replicas, tc.cores)
+		if got != tc.want || clamped != tc.clamped {
+			t.Errorf("ClampThreads(%d, %d, %d) = (%d, %v), want (%d, %v)",
+				tc.threads, tc.replicas, tc.cores, got, clamped, tc.want, tc.clamped)
+		}
+	}
+}

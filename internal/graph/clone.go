@@ -24,6 +24,7 @@ func (n *Network) Clone() *Network {
 		panic(fmt.Sprintf("graph: Clone of a compiled network failed: %v", err))
 	}
 	clone.Threads = n.Threads
+	clone.ec = n.ec
 	return clone
 }
 

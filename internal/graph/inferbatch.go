@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"bitflow/internal/bitpack"
+	"bitflow/internal/exec"
 	"bitflow/internal/tensor"
 )
 
@@ -86,19 +87,25 @@ func (n *Network) InferBatch(xs []*tensor.Tensor) ([][]float32, error) {
 		}
 	}
 	if B == 1 {
-		out, err := n.InferChecked(xs[0])
+		// nil ctx: keep any cancellation carried by the attached
+		// execution context, matching the B>1 layer-sweep below.
+		out, err := n.InferContext(nil, xs[0])
 		if err != nil {
 			return nil, &BatchInputError{Index: 0, Err: err}
 		}
 		return [][]float32{out}, nil
 	}
 	n.EnsureBatch(B)
+	ec := n.execCtx()
 	lanes := n.lanes[:B]
 	for b, lane := range lanes {
 		lane.feedInput(xs[b])
 	}
 	for li := range n.layers {
-		n.forwardLayerBatch(li, lanes)
+		if err := ec.Err(); err != nil {
+			return nil, err
+		}
+		n.forwardLayerBatch(li, lanes, ec)
 	}
 	outs := make([][]float32, B)
 	for b, lane := range lanes {
@@ -112,7 +119,7 @@ func (n *Network) InferBatch(xs []*tensor.Tensor) ([][]float32, error) {
 // use the batched operator paths (weights stream once per batch); pool and
 // the mixed-precision float stem are weightless or float-bound and run
 // per lane.
-func (n *Network) forwardLayerBatch(li int, lanes []*Network) {
+func (n *Network) forwardLayerBatch(li int, lanes []*Network, ec *exec.Ctx) {
 	B := len(lanes)
 	switch l := n.layers[li].(type) {
 	case *convLayer:
@@ -122,7 +129,7 @@ func (n *Network) forwardLayerBatch(li int, lanes []*Network) {
 			cl := lane.layers[li].(*convLayer)
 			ins[b], outs[b] = cl.in, cl.out
 		}
-		l.op.ForwardPackedBatch(ins, outs, n.Threads)
+		l.op.ForwardPackedBatch(ins, outs, ec)
 	case *denseLayer:
 		ins := make([][]uint64, B)
 		for b, lane := range lanes {
@@ -133,17 +140,17 @@ func (n *Network) forwardLayerBatch(li int, lanes []*Network) {
 			for b, lane := range lanes {
 				outs[b] = lane.layers[li].(*denseLayer).floatOut
 			}
-			l.op.ForwardFloatBatch(ins, outs, n.Threads)
+			l.op.ForwardFloatBatch(ins, outs, ec)
 			return
 		}
 		outs := make([][]uint64, B)
 		for b, lane := range lanes {
 			outs[b] = lane.layers[li].(*denseLayer).packedOut
 		}
-		l.op.ForwardPackedBatch(ins, outs, n.Threads)
+		l.op.ForwardPackedBatch(ins, outs, ec)
 	default:
 		for _, lane := range lanes {
-			lane.layers[li].forward(n.Threads)
+			lane.layers[li].forward(ec)
 		}
 	}
 }

@@ -44,12 +44,12 @@ func TestInferCheckedRejectsBadShape(t *testing.T) {
 	net := checkedTestNet(t)
 
 	for name, x := range map[string]*tensor.Tensor{
-		"nil":          nil,
-		"wrong-h":      tensor.New(4, 8, 64),
-		"wrong-w":      tensor.New(8, 4, 64),
-		"wrong-c":      tensor.New(8, 8, 32),
-		"short-data":   {H: 8, W: 8, C: 64, Data: make([]float32, 7)},
-		"oversized":    tensor.New(16, 16, 64),
+		"nil":        nil,
+		"wrong-h":    tensor.New(4, 8, 64),
+		"wrong-w":    tensor.New(8, 4, 64),
+		"wrong-c":    tensor.New(8, 8, 32),
+		"short-data": {H: 8, W: 8, C: 64, Data: make([]float32, 7)},
+		"oversized":  tensor.New(16, 16, 64),
 	} {
 		logits, err := net.InferChecked(x)
 		if err == nil {

@@ -1,11 +1,13 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"bitflow/internal/bitpack"
 	"bitflow/internal/core"
+	"bitflow/internal/exec"
 	"bitflow/internal/sched"
 	"bitflow/internal/tensor"
 )
@@ -16,7 +18,7 @@ type layer interface {
 	name() string
 	kind() string
 	outDims() string
-	forward(threads int)
+	forward(ec *exec.Ctx)
 	// weightStats returns (scalar weight count, bytes of weight storage
 	// actually held — packed bits for binary layers, float32 for the
 	// mixed-precision first layer); zero for weightless layers.
@@ -37,9 +39,16 @@ type Network struct {
 	Classes       int
 	Feat          sched.Features
 
-	// Threads is the worker count used by Infer; it maps to the paper's
-	// multi-core parallelism over fused H·W (conv/pool) and K (dense).
+	// Threads is the legacy worker-count knob. When no execution context
+	// is attached via SetExec, Infer derives one from it on the shared
+	// default pool (exec.Threads), so pre-exec callers and benches keep
+	// working unchanged. With SetExec, the attached context wins and
+	// Threads is ignored.
 	Threads int
+
+	// ec is the attached execution context (SetExec); nil means "derive
+	// from Threads".
+	ec *exec.Ctx
 
 	layers []layer
 	input  *bitpack.Packed
@@ -103,16 +112,74 @@ func (n *Network) CheckInput(x *tensor.Tensor) error {
 	return nil
 }
 
+// SetExec attaches a prepared execution context: dispatch pool, thread
+// budget, and optional per-layer observer. Servers build one base context
+// for the whole process and attach it to every replica, so the process
+// shares a single worker pool no matter how many replicas run. Passing
+// nil detaches, falling back to the Threads shim.
+func (n *Network) SetExec(ec *exec.Ctx) { n.ec = ec }
+
+// Exec returns the attached execution context, or nil when the network is
+// running on the legacy Threads shim.
+func (n *Network) Exec() *exec.Ctx { return n.ec }
+
+// execCtx resolves the context a forward pass runs under: the attached
+// one, else the Threads-derived compatibility shim.
+func (n *Network) execCtx() *exec.Ctx {
+	if n.ec != nil {
+		return n.ec
+	}
+	return exec.Threads(n.Threads)
+}
+
 // InferChecked is Infer with the shape panic converted into a returned
 // error, so untrusted user input can never reach a panic path. A non-nil
 // error means no forward pass ran.
 func (n *Network) InferChecked(x *tensor.Tensor) ([]float32, error) {
+	return n.InferContext(context.Background(), x)
+}
+
+// InferContext is InferChecked under a cancellation context: the pass
+// checks ctx between layers and stops within one layer's latency of
+// cancellation, returning ctx's error. An abandoned pass leaves the
+// activation buffers in a consistent state — every layer rewrites its
+// output in full — so the network is immediately reusable and the next
+// Infer is bit-identical to an uninterrupted one. If an observer is
+// attached (exec.Ctx.WithObserver), it receives one timing per layer.
+//
+// A non-nil ctx replaces any context carried by the attached execution
+// context for this pass; a nil ctx leaves the attached one in force.
+func (n *Network) InferContext(ctx context.Context, x *tensor.Tensor) ([]float32, error) {
 	if err := n.CheckInput(x); err != nil {
 		return nil, err
 	}
+	ec := n.execCtx()
+	if ctx != nil {
+		ec = ec.WithContext(ctx)
+	}
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
+	obs := ec.Observer()
+	var t0 time.Time
+	if obs != nil {
+		t0 = time.Now()
+	}
 	n.feedInput(x)
+	if obs != nil {
+		obs("input", "pack", time.Since(t0))
+	}
 	for _, l := range n.layers {
-		l.forward(n.Threads)
+		if err := ec.Err(); err != nil {
+			return nil, err
+		}
+		if obs != nil {
+			t0 = time.Now()
+		}
+		l.forward(ec)
+		if obs != nil {
+			obs(l.name(), l.kind(), time.Since(t0))
+		}
 	}
 	out := make([]float32, len(n.output))
 	copy(out, n.output)
@@ -132,13 +199,14 @@ type LayerTiming struct {
 // InferTimed runs one forward pass and reports per-layer wall-clock times
 // (the input binarize+pack is reported as layer "input").
 func (n *Network) InferTimed(x *tensor.Tensor) ([]float32, []LayerTiming) {
+	ec := n.execCtx()
 	timings := make([]LayerTiming, 0, len(n.layers)+1)
 	t0 := time.Now()
 	n.feedInput(x)
 	timings = append(timings, LayerTiming{Name: "input", Kind: "pack", Duration: time.Since(t0)})
 	for _, l := range n.layers {
 		t0 = time.Now()
-		l.forward(n.Threads)
+		l.forward(ec)
 		timings = append(timings, LayerTiming{
 			Name: l.name(), Kind: l.kind(), Duration: time.Since(t0),
 			Units: l.parallelUnits(),
@@ -212,8 +280,8 @@ func (l *convLayer) outDims() string {
 	s := l.op.Shape
 	return fmt.Sprintf("%dx%dx%d", s.OutH, s.OutW, s.OutC)
 }
-func (l *convLayer) forward(threads int) { l.op.ForwardPacked(l.in, l.out, threads) }
-func (l *convLayer) parallelUnits() int  { return l.op.Shape.OutH * l.op.Shape.OutW }
+func (l *convLayer) forward(ec *exec.Ctx) { l.op.ForwardPacked(l.in, l.out, ec) }
+func (l *convLayer) parallelUnits() int   { return l.op.Shape.OutH * l.op.Shape.OutW }
 func (l *convLayer) weightStats() (int64, int64) {
 	s := l.op.Shape
 	return int64(s.K) * int64(s.KH) * int64(s.KW) * int64(s.InC), 8 * int64(len(l.op.Filter().Words))
@@ -232,8 +300,8 @@ func (l *floatConvLayer) outDims() string {
 	s := l.op.Shape
 	return fmt.Sprintf("%dx%dx%d", s.OutH, s.OutW, s.OutC)
 }
-func (l *floatConvLayer) forward(threads int) { l.op.Forward(l.in, l.out, threads) }
-func (l *floatConvLayer) parallelUnits() int  { return l.op.Shape.OutH * l.op.Shape.OutW }
+func (l *floatConvLayer) forward(ec *exec.Ctx) { l.op.Forward(l.in, l.out, ec) }
+func (l *floatConvLayer) parallelUnits() int   { return l.op.Shape.OutH * l.op.Shape.OutW }
 func (l *floatConvLayer) weightStats() (int64, int64) {
 	s := l.op.Shape
 	w := int64(s.K) * int64(s.KH) * int64(s.KW) * int64(s.InC)
@@ -252,7 +320,7 @@ func (l *poolLayer) outDims() string {
 	s := l.op.Shape
 	return fmt.Sprintf("%dx%dx%d", s.OutH, s.OutW, s.OutC)
 }
-func (l *poolLayer) forward(threads int)         { l.op.Forward(l.in, l.out, threads) }
+func (l *poolLayer) forward(ec *exec.Ctx)        { l.op.Forward(l.in, l.out, ec) }
 func (l *poolLayer) weightStats() (int64, int64) { return 0, 0 }
 func (l *poolLayer) parallelUnits() int          { return l.op.Shape.OutH * l.op.Shape.OutW }
 
@@ -271,12 +339,12 @@ type denseLayer struct {
 func (l *denseLayer) name() string    { return l.lname }
 func (l *denseLayer) kind() string    { return "fc" }
 func (l *denseLayer) outDims() string { return fmt.Sprintf("%d", l.op.Shape.K) }
-func (l *denseLayer) forward(threads int) {
+func (l *denseLayer) forward(ec *exec.Ctx) {
 	if l.floatOut != nil {
-		l.op.ForwardFloat(l.in, l.floatOut, threads)
+		l.op.ForwardFloat(l.in, l.floatOut, ec)
 		return
 	}
-	l.op.ForwardPacked(l.in, l.packedOut, threads)
+	l.op.ForwardPacked(l.in, l.packedOut, ec)
 }
 func (l *denseLayer) weightStats() (int64, int64) {
 	s := l.op.Shape

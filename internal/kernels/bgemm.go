@@ -1,6 +1,10 @@
 package kernels
 
-import "fmt"
+import (
+	"fmt"
+
+	"bitflow/internal/exec"
+)
 
 // This file implements bgemm, BitFlow's binary GEMM (paper gemm level,
 // §IV): C = A × Bᵀ where A is M×N bits (M packed rows of wpr words) and B
@@ -72,9 +76,36 @@ func BGemm(a []uint64, m int, bT []uint64, k int, wpr, n int, out []int32, opts 
 	}
 }
 
+// BGemmExec runs BGemm with the K dimension split across the execution
+// context's thread budget — the paper's multi-core split for the fully
+// connected operator ("multi-core parallelism over the K dimension",
+// §III-C), dispatched on the context's persistent worker pool instead of
+// freshly spawned goroutines. A nil/serial context, or a K too small to
+// be worth splitting, degrades to the serial path. Output columns are
+// chunk-disjoint, so results are bit-identical at any budget.
+func BGemmExec(a []uint64, m int, bT []uint64, k int, wpr, n int, out []int32, opts BGemmOpts, ec *exec.Ctx) {
+	if threads := ec.Budget(); threads <= 1 || k < 2*threads {
+		BGemm(a, m, bT, k, wpr, n, out, opts)
+		return
+	}
+	opts.fill()
+	if len(a) != m*wpr {
+		panic(fmt.Sprintf("kernels: BGemmExec len(a)=%d want %d", len(a), m*wpr))
+	}
+	if len(bT) != k*wpr {
+		panic(fmt.Sprintf("kernels: BGemmExec len(bT)=%d want %d", len(bT), k*wpr))
+	}
+	if len(out) != m*k {
+		panic(fmt.Sprintf("kernels: BGemmExec len(out)=%d want %d", len(out), m*k))
+	}
+	ec.ParallelFor(k, func(k0, k1 int) {
+		bgemmCols(a, m, bT, k, wpr, n, out, opts, k0, k1)
+	})
+}
+
 // BGemmParallel runs BGemm with the K dimension split across `threads`
-// goroutines — the paper's multi-core split for the fully connected
-// operator ("multi-core parallelism over the K dimension", §III-C).
+// freshly spawned goroutines — the legacy spawn-per-call dispatch, kept
+// as the baseline the pooled path is benchmarked against.
 // threads <= 1 degrades to the serial path.
 func BGemmParallel(a []uint64, m int, bT []uint64, k int, wpr, n int, out []int32, opts BGemmOpts, threads int) {
 	if threads <= 1 || k < 2*threads {

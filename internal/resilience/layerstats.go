@@ -1,0 +1,82 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// LayerStat is a point-in-time timing summary for one network layer,
+// fed by the execution context's per-layer observer hook and served by
+// /statusz. Quantiles describe the most recent window of passes.
+type LayerStat struct {
+	Name      string `json:"name"`
+	Kind      string `json:"kind"`
+	Count     int64  `json:"count"`
+	P50       string `json:"p50"`
+	P99       string `json:"p99"`
+	P50Micros int64  `json:"p50_us"`
+	P99Micros int64  `json:"p99_us"`
+}
+
+// LayerStats aggregates per-layer latency rings keyed by layer name,
+// preserving first-seen order (which is execution order when fed from a
+// forward pass). Safe for concurrent use by many replicas sharing one
+// Metrics.
+type LayerStats struct {
+	mu    sync.Mutex
+	order []string
+	rings map[string]*layerRing
+	size  int
+}
+
+type layerRing struct {
+	kind  string
+	count int64
+	ring  *LatencyRing
+}
+
+// NewLayerStats builds a LayerStats whose per-layer rings hold up to
+// ringSize samples each (minimum 16).
+func NewLayerStats(ringSize int) *LayerStats {
+	return &LayerStats{rings: map[string]*layerRing{}, size: ringSize}
+}
+
+// Observe records one layer execution. The signature matches
+// exec.Observer so a *LayerStats method can be attached directly.
+func (ls *LayerStats) Observe(layer, kind string, d time.Duration) {
+	ls.mu.Lock()
+	r := ls.rings[layer]
+	if r == nil {
+		r = &layerRing{kind: kind, ring: NewLatencyRing(ls.size)}
+		ls.rings[layer] = r
+		ls.order = append(ls.order, layer)
+	}
+	r.count++
+	ls.mu.Unlock()
+	r.ring.Observe(d)
+}
+
+// Snapshot summarizes every observed layer in first-seen order.
+func (ls *LayerStats) Snapshot() []LayerStat {
+	ls.mu.Lock()
+	names := append([]string(nil), ls.order...)
+	recs := make([]*layerRing, len(names))
+	counts := make([]int64, len(names))
+	for i, n := range names {
+		recs[i] = ls.rings[n]
+		counts[i] = ls.rings[n].count
+	}
+	ls.mu.Unlock()
+
+	out := make([]LayerStat, len(names))
+	for i, n := range names {
+		p50 := recs[i].ring.Quantile(0.50)
+		p99 := recs[i].ring.Quantile(0.99)
+		out[i] = LayerStat{
+			Name: n, Kind: recs[i].kind, Count: counts[i],
+			P50: p50.String(), P99: p99.String(),
+			P50Micros: p50.Microseconds(), P99Micros: p99.Microseconds(),
+		}
+	}
+	return out
+}

@@ -38,6 +38,9 @@ type Metrics struct {
 	BatchFlushDrain   atomic.Int64 // flushes forced by shutdown drain
 
 	lat *LatencyRing
+	// layers holds the per-layer timing rings fed by the execution
+	// context's observer hook (graph.InferContext → exec.Observer).
+	layers *LayerStats
 }
 
 // ObserveBatch records one dispatched batch of n requests with the given
@@ -89,11 +92,18 @@ func (fr FlushReason) String() string {
 // NewMetrics builds a Metrics with a latency ring of the given capacity
 // (minimum 16; 1024 is a reasonable serving default).
 func NewMetrics(ringSize int) *Metrics {
-	return &Metrics{lat: NewLatencyRing(ringSize)}
+	return &Metrics{lat: NewLatencyRing(ringSize), layers: NewLayerStats(256)}
 }
 
 // ObserveLatency records one successful request's service time.
 func (m *Metrics) ObserveLatency(d time.Duration) { m.lat.Observe(d) }
+
+// ObserveLayer records one layer execution from a forward pass. The
+// signature matches exec.Observer, so servers attach it directly to
+// their base execution context.
+func (m *Metrics) ObserveLayer(layer, kind string, d time.Duration) {
+	m.layers.Observe(layer, kind, d)
+}
 
 // Snapshot is a point-in-time, JSON-serializable view of the counters.
 type Snapshot struct {
@@ -118,6 +128,10 @@ type Snapshot struct {
 	P99            string `json:"latency_p99"`
 	P50Micros      int64  `json:"latency_p50_us"`
 	P99Micros      int64  `json:"latency_p99_us"`
+
+	// Layers is the per-layer p50/p99 breakdown in execution order,
+	// present once at least one observed forward pass has run.
+	Layers []LayerStat `json:"layers,omitempty"`
 }
 
 // Snapshot reads every counter and the latency quantiles atomically
@@ -153,6 +167,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		P99:            p99.String(),
 		P50Micros:      p50.Microseconds(),
 		P99Micros:      p99.Microseconds(),
+
+		Layers: m.layers.Snapshot(),
 	}
 }
 

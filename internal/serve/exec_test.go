@@ -1,0 +1,194 @@
+package serve
+
+// Execution-layer serving tests: a panic inside a ParallelFor chunk must
+// surface as a structured 500 with capacity restored (before internal/exec
+// the panic escaped on an unjoined goroutine and killed the process), the
+// shared pool must be visible in /statusz, and a request cancelled
+// mid-inference must come back as a 503 deadline, not a 400.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bitflow/internal/exec"
+	"bitflow/internal/graph"
+	"bitflow/internal/tensor"
+	"bitflow/internal/workload"
+)
+
+// chunkPanicBackend runs a pooled ParallelFor on every inference and
+// panics inside the chunks when the input carries the trigger value —
+// the failure mode of a bug deep in a conv kernel executing on pool
+// workers, not on the request goroutine.
+type chunkPanicBackend struct {
+	net     *graph.Network
+	pool    *exec.Pool
+	trigger float32
+}
+
+func (b *chunkPanicBackend) infer(ctx context.Context, x *tensor.Tensor) ([]float32, error) {
+	if x.Data[0] == b.trigger {
+		ec := exec.Pooled(b.pool, 4)
+		ec.ParallelFor(64, func(s, e int) {
+			panic("conv chunk exploded mid-parallelFor")
+		})
+	}
+	return b.net.InferContext(ctx, x)
+}
+
+func (b *chunkPanicBackend) clone() backend {
+	return &chunkPanicBackend{net: b.net.Clone(), pool: b.pool, trigger: b.trigger}
+}
+
+func TestChunkPanicIsStructured500AndCapacityRestored(t *testing.T) {
+	net := testNetwork(t)
+	p := exec.NewPool(3)
+	defer p.Close()
+	const replicas = 2
+	s := newServer(metaFor(net), &chunkPanicBackend{net: net, pool: p, trigger: 999}, Config{
+		Replicas: replicas, RequestTimeout: 10 * time.Second,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	x := workload.RandTensor(workload.NewRNG(170), 8, 8, 64)
+	want := net.Infer(x)
+	bad := make([]float32, len(x.Data))
+	copy(bad, x.Data)
+	bad[0] = 999
+
+	// The worker-side panic must come back as a structured 500 — the
+	// process surviving to write it is the point of the test.
+	resp := postInferNoDecode(t, ts, bad)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("chunk panic: status %d, want 500", resp.StatusCode)
+	}
+	if e := decodeError(t, resp); e.Code != "panic" || e.Error == "" {
+		t.Fatalf("chunk panic error body %+v", e)
+	}
+
+	// Server must keep serving with full capacity and unchanged logits.
+	resp2, out := postInfer(t, ts, x.Data)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic request: status %d", resp2.StatusCode)
+	}
+	for c := range want {
+		if out.Logits[c] != want[c] {
+			t.Fatalf("post-panic logit %d drifted", c)
+		}
+	}
+	if got := len(s.pool); got != replicas {
+		t.Fatalf("replica pool has %d after chunk panic, want %d", got, replicas)
+	}
+	if got := s.Metrics().PanicsRecovered.Load(); got != 1 {
+		t.Fatalf("panics_recovered = %d, want 1", got)
+	}
+}
+
+// postInferNoDecode posts an /infer body and returns the raw response,
+// for paths where the status and error body are the assertion.
+func postInferNoDecode(t *testing.T, ts *httptest.Server, data []float32) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(InferRequest{Data: data})
+	resp, err := http.Post(ts.URL+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestServeSharedPoolStatusz wires a real network through Config.Exec and
+// checks the tentpole invariants at the HTTP surface: logits unchanged,
+// the pool visible in /statusz with dispatches flowing, and per-layer
+// p50/p99 present under metrics.layers.
+func TestServeSharedPoolStatusz(t *testing.T) {
+	net := testNetwork(t)
+	ref := net.Clone() // reference logits from an unattached clone
+	p := exec.NewPool(3)
+	defer p.Close()
+	s := NewWithConfig(net, Config{Replicas: 2, Exec: exec.Pooled(p, 4)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	x := workload.RandTensor(workload.NewRNG(171), 8, 8, 64)
+	want := ref.Infer(x)
+	for i := 0; i < 3; i++ {
+		resp, out := postInfer(t, ts, x.Data)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+		for c := range want {
+			if out.Logits[c] != want[c] {
+				t.Fatalf("pooled logit %d: %v want %v", c, out.Logits[c], want[c])
+			}
+		}
+	}
+
+	st := getStatusz(t, ts.URL)
+	if st.Exec == nil {
+		t.Fatal("statusz has no exec section despite Config.Exec")
+	}
+	if st.Exec.Workers != 3 || st.Exec.Budget != 4 {
+		t.Errorf("exec section workers=%d budget=%d, want 3/4", st.Exec.Workers, st.Exec.Budget)
+	}
+	if st.Exec.Dispatches == 0 {
+		t.Error("no ParallelFor dispatches reached the shared pool")
+	}
+	if len(st.Metrics.Layers) == 0 {
+		t.Fatal("no per-layer stats in statusz metrics")
+	}
+	seen := map[string]bool{}
+	for _, ls := range st.Metrics.Layers {
+		seen[ls.Name] = true
+		if ls.Count == 0 || ls.P50 == "" {
+			t.Errorf("layer %q has empty stats: %+v", ls.Name, ls)
+		}
+	}
+	for _, name := range []string{"input", "c1", "p1", "d1"} {
+		if !seen[name] {
+			t.Errorf("layer %q missing from statusz layer stats (got %v)", name, seen)
+		}
+	}
+}
+
+// ctxWaitBackend parks until the request context is done, then returns
+// its error — a stand-in for a forward pass whose between-layer check
+// observes the deadline.
+type ctxWaitBackend struct{ net *graph.Network }
+
+func (b ctxWaitBackend) infer(ctx context.Context, x *tensor.Tensor) ([]float32, error) {
+	// Warm-up passes context.Background() (no deadline, nil Done);
+	// only requests carrying a real deadline park here.
+	if ctx != nil && ctx.Done() != nil {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return b.net.InferChecked(x)
+}
+func (b ctxWaitBackend) clone() backend { return ctxWaitBackend{net: b.net.Clone()} }
+
+func TestDeadlineMidInferenceIs503(t *testing.T) {
+	net := testNetwork(t)
+	s := newServer(metaFor(net), ctxWaitBackend{net: net}, Config{
+		Replicas: 1, RequestTimeout: 50 * time.Millisecond,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	x := workload.RandTensor(workload.NewRNG(172), 8, 8, 64)
+	resp := postInferNoDecode(t, ts, x.Data)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("mid-inference deadline: status %d, want 503", resp.StatusCode)
+	}
+	if e := decodeError(t, resp); e.Code != "deadline" {
+		t.Fatalf("error code %q, want deadline", e.Code)
+	}
+	if got := s.Metrics().Shed.Load(); got != 1 {
+		t.Errorf("shed = %d, want 1", got)
+	}
+}

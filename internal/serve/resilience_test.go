@@ -38,7 +38,7 @@ type faultBackend struct {
 	trigger float32
 }
 
-func (b *faultBackend) infer(x *tensor.Tensor) ([]float32, error) {
+func (b *faultBackend) infer(ctx context.Context, x *tensor.Tensor) ([]float32, error) {
 	if x.Data[0] == b.trigger {
 		panic("injected layer panic")
 	}
@@ -67,7 +67,7 @@ func newBlockingBackend(net *graph.Network) *blockingBackend {
 	}
 }
 
-func (b *blockingBackend) infer(x *tensor.Tensor) ([]float32, error) {
+func (b *blockingBackend) infer(ctx context.Context, x *tensor.Tensor) ([]float32, error) {
 	if b.calls.Add(1) > 1 { // first call is the constructor's warm-up
 		b.entered <- struct{}{}
 		<-b.release
@@ -82,7 +82,7 @@ func (b *blockingBackend) clone() backend {
 // errBackend fails every inference — used to prove warm-up gates /readyz.
 type errBackend struct{}
 
-func (errBackend) infer(x *tensor.Tensor) ([]float32, error) {
+func (errBackend) infer(ctx context.Context, x *tensor.Tensor) ([]float32, error) {
 	return nil, fmt.Errorf("backend permanently broken")
 }
 func (e errBackend) clone() backend { return e }

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"bitflow/internal/batch"
+	"bitflow/internal/exec"
 	"bitflow/internal/graph"
 	"bitflow/internal/resilience"
 	"bitflow/internal/tensor"
@@ -62,6 +63,14 @@ type Config struct {
 	BatchWindow time.Duration
 	// MaxBatch caps how many requests share one forward pass. Default 8.
 	MaxBatch int
+
+	// Exec is the base execution context attached to every replica: the
+	// shared dispatch pool plus the per-inference thread budget. All
+	// replicas dispatch onto this one context, so total parallelism is
+	// bounded by its pool no matter how many replicas run. nil derives a
+	// context from the network's Threads field on the process-wide
+	// default pool (the legacy behavior).
+	Exec *exec.Ctx
 }
 
 func (c Config) withDefaults() Config {
@@ -93,16 +102,36 @@ func (c Config) withDefaults() Config {
 
 // backend is the inference surface the pool manages. graph.Network is the
 // production implementation; tests substitute panicking or slow backends
-// to exercise the failure paths.
+// to exercise the failure paths. infer receives the per-request context
+// so cancellation and deadlines propagate into the forward pass.
 type backend interface {
-	infer(x *tensor.Tensor) ([]float32, error)
+	infer(ctx context.Context, x *tensor.Tensor) ([]float32, error)
 	clone() backend
+}
+
+// execAttacher marks backends that accept an execution context. The
+// server attaches one base context (pool + budget + metrics observer)
+// to the first backend before warm-up; clones inherit it, so every
+// replica shares the same pool and feeds the same layer stats.
+type execAttacher interface {
+	attachExec(base *exec.Ctx, obs exec.Observer) *exec.Ctx
 }
 
 type netBackend struct{ net *graph.Network }
 
-func (b netBackend) infer(x *tensor.Tensor) ([]float32, error) { return b.net.InferChecked(x) }
-func (b netBackend) clone() backend                            { return netBackend{net: b.net.Clone()} }
+func (b netBackend) infer(ctx context.Context, x *tensor.Tensor) ([]float32, error) {
+	return b.net.InferContext(ctx, x)
+}
+func (b netBackend) clone() backend { return netBackend{net: b.net.Clone()} }
+
+func (b netBackend) attachExec(base *exec.Ctx, obs exec.Observer) *exec.Ctx {
+	if base == nil {
+		base = exec.Threads(b.net.Threads)
+	}
+	ec := base.WithObserver(obs)
+	b.net.SetExec(ec)
+	return ec
+}
 
 func (b netBackend) inferBatch(xs []*tensor.Tensor) ([][]float32, error) { return b.net.InferBatch(xs) }
 func (b netBackend) prepareBatch(max int)                                { b.net.EnsureBatch(max) }
@@ -130,7 +159,7 @@ func (r backendRunner) InferBatch(xs []*tensor.Tensor) ([][]float32, error) {
 	}
 	outs := make([][]float32, len(xs))
 	for i, x := range xs {
-		out, err := r.b.infer(x)
+		out, err := r.b.infer(context.Background(), x)
 		if err != nil {
 			return nil, err
 		}
@@ -149,6 +178,10 @@ type Server struct {
 	metrics *resilience.Metrics
 	ready   atomic.Bool
 	started time.Time
+
+	// exec is the resolved base execution context shared by all replicas
+	// (nil for test backends that don't take one).
+	exec *exec.Ctx
 
 	// batcher is non-nil iff cfg.Batching: /infer then routes through it
 	// instead of the replica pool, and the workers own the backends.
@@ -202,7 +235,17 @@ type Statusz struct {
 	MaxQueue          int                 `json:"max_queue"`
 	RequestTimeout    string              `json:"request_timeout"`
 	Batch             *BatchStatus        `json:"batch,omitempty"`
+	Exec              *ExecStatus         `json:"exec,omitempty"`
 	Metrics           resilience.Snapshot `json:"metrics"`
+}
+
+// ExecStatus is the /statusz execution-layer section: the shared pool's
+// configuration and occupancy plus the per-inference thread budget every
+// replica dispatches with. Per-layer p50/p99 live under metrics.layers.
+type ExecStatus struct {
+	exec.Report
+	// Budget is the per-inference thread budget (callers included).
+	Budget int `json:"budget"`
 }
 
 // BatchStatus is the /statusz micro-batching section, present only when
@@ -263,6 +306,14 @@ func newServer(meta Meta, first backend, cfg Config) *Server {
 		metrics: resilience.NewMetrics(1024),
 		started: time.Now(),
 	}
+	// Attach the shared execution context (pool + budget + layer-stats
+	// observer) before warm-up so the first backend — and every clone
+	// taken from it below — dispatches onto the same pool.
+	if ea, ok := first.(execAttacher); ok {
+		s.exec = ea.attachExec(cfg.Exec, s.metrics.ObserveLayer)
+	} else {
+		s.exec = cfg.Exec
+	}
 	s.warmup(first)
 	if cfg.Batching {
 		// The batch workers own the backends: worker i gets the i-th
@@ -311,7 +362,7 @@ func newServer(meta Meta, first backend, cfg Config) *Server {
 func (s *Server) warmup(b backend) {
 	x := tensor.New(s.meta.InputH, s.meta.InputW, s.meta.InputC)
 	var inferErr error
-	panicErr := resilience.Safe(func() { _, inferErr = b.infer(x) })
+	panicErr := resilience.Safe(func() { _, inferErr = b.infer(context.Background(), x) })
 	s.ready.Store(panicErr == nil && inferErr == nil)
 }
 
@@ -367,6 +418,15 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		MaxQueue:          s.cfg.MaxQueue,
 		RequestTimeout:    s.cfg.RequestTimeout.String(),
 		Metrics:           snap,
+	}
+	if s.exec != nil {
+		es := &ExecStatus{Budget: s.exec.Budget()}
+		if p := s.exec.Pool(); p != nil {
+			es.Report = p.Report()
+		} else {
+			es.Report = exec.Report{Source: "serial"}
+		}
+		st.Exec = es
 	}
 	if s.batcher != nil {
 		// Batch workers never die (a panicked runner is replaced), so the
@@ -468,7 +528,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		logits   []float32
 		inferErr error
 	)
-	panicErr := resilience.Safe(func() { logits, inferErr = b.infer(x) })
+	panicErr := resilience.Safe(func() { logits, inferErr = b.infer(ctx, x) })
 	elapsed := time.Since(t0)
 
 	if panicErr != nil {
@@ -486,6 +546,16 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if inferErr != nil {
+		// A pass abandoned at a layer boundary (deadline or client gone)
+		// is load, not a malformed request: 503 with Retry-After, same
+		// taxonomy as a deadline that expires in the queue.
+		if errors.Is(inferErr, context.DeadlineExceeded) || errors.Is(inferErr, context.Canceled) {
+			s.metrics.Shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "deadline",
+				fmt.Sprintf("request cancelled mid-inference: %v", inferErr))
+			return
+		}
 		s.metrics.BadRequests.Add(1)
 		writeError(w, http.StatusBadRequest, "bad_request", inferErr.Error())
 		return

@@ -17,7 +17,7 @@ go vet ./...
 echo "== go test $* ./..."
 go test "$@" ./...
 
-echo "== go test -race ./internal/serve/... ./internal/resilience/... ./internal/batch/..."
-go test -race ./internal/serve/... ./internal/resilience/... ./internal/batch/...
+echo "== go test -race -shuffle=on ./internal/exec/... ./internal/serve/... ./internal/resilience/... ./internal/batch/..."
+go test -race -shuffle=on ./internal/exec/... ./internal/serve/... ./internal/resilience/... ./internal/batch/...
 
 echo "verify: OK"
