@@ -237,9 +237,15 @@ func closedLoop(clients int, dur time.Duration, do func(*tensor.Tensor) error, x
 	var count atomic.Int64
 	var firstErr atomic.Value
 	lats := make([][]time.Duration, clients)
+	// The client loops cannot run on exec.Ctx.ParallelFor: its claim-loop
+	// chunking would let one worker serialize several infinite client
+	// bodies while the controller below still expects all of them
+	// concurrently live until stop flips.
+	//bitflow:go-ok closed-loop load generator needs one live goroutine per client for the full duration
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
+		//bitflow:go-ok closed-loop load generator; see WaitGroup note above
 		go func(c int) {
 			defer wg.Done()
 			i := c

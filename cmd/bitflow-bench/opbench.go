@@ -163,29 +163,15 @@ func buildRunners(cfg workload.OpConfig, feat sched.Features, seed uint64) (*opR
 	return or, nil
 }
 
-// runChunked is the harness-local thread splitter.
+// runChunked is the harness-local thread splitter, dispatched on a
+// spawn-per-call context so harness overhead matches the legacy
+// goroutine-per-chunk baselines it measures against.
 func runChunked(total, threads int, body func(start, end int)) {
 	if threads <= 1 || total <= 1 {
 		body(0, total)
 		return
 	}
-	if threads > total {
-		threads = total
-	}
-	chunk := (total + threads - 1) / threads
-	done := make(chan struct{}, threads)
-	n := 0
-	for start := 0; start < total; start += chunk {
-		end := min(start+chunk, total)
-		n++
-		go func(s, e int) {
-			body(s, e)
-			done <- struct{}{}
-		}(start, end)
-	}
-	for i := 0; i < n; i++ {
-		<-done
-	}
+	exec.Spawn(threads).ParallelFor(total, body)
 }
 
 // scaleFracs returns (serialFrac, memBoundFrac) estimates per operator

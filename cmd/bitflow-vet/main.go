@@ -1,0 +1,152 @@
+// Command bitflow-vet runs the repo-native static-analysis suite
+// (internal/analysis) over the module and reports invariant violations.
+//
+// Usage:
+//
+//	bitflow-vet [flags] [packages]
+//
+//	-dir string        module directory to analyze (default ".")
+//	-enable string     comma-separated analyzers to run (default: all)
+//	-disable string    comma-separated analyzers to skip
+//	-json              emit findings as JSON on stdout
+//	-exit-zero         exit 0 even when there are findings (CI artifact
+//	                   collection; the gating step runs without it)
+//	-list              print the available analyzers and exit
+//
+// Exit codes: 0 no findings (or -exit-zero), 1 findings, 2 usage or
+// load error. The exit code does not depend on -json: a findings run
+// fails the same way whether a human or the CI artifact step is
+// reading it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bitflow/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("bitflow-vet", flag.ContinueOnError)
+	var (
+		dir      = fs.String("dir", ".", "module directory to analyze")
+		enable   = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable  = fs.String("disable", "", "comma-separated analyzers to skip")
+		jsonOut  = fs.Bool("json", false, "emit findings as JSON on stdout")
+		exitZero = fs.Bool("exit-zero", false, "exit 0 even when there are findings")
+		list     = fs.Bool("list", false, "print the available analyzers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bitflow-vet:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bitflow-vet:", err)
+		return 2
+	}
+	findings := analysis.Run(prog, analyzers)
+
+	if *jsonOut {
+		report := struct {
+			Findings []analysis.Finding `json:"findings"`
+			Files    int                `json:"files"`
+		}{Findings: findings, Files: prog.NumFiles()}
+		if report.Findings == nil {
+			report.Findings = []analysis.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "bitflow-vet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		fmt.Printf("bitflow-vet: %d findings, %d files checked\n", len(findings), prog.NumFiles())
+	}
+
+	if len(findings) > 0 && !*exitZero {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies -enable / -disable to the full suite.
+func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range analysis.All() {
+		byName[a.Name] = a
+	}
+	names := func(csv string) ([]string, error) {
+		if csv == "" {
+			return nil, nil
+		}
+		var out []string
+		for _, n := range strings.Split(csv, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if byName[n] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (use -list)", n)
+			}
+			out = append(out, n)
+		}
+		return out, nil
+	}
+	on, err := names(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := names(disable)
+	if err != nil {
+		return nil, err
+	}
+	skip := map[string]bool{}
+	for _, n := range off {
+		skip[n] = true
+	}
+	var selected []*analysis.Analyzer
+	if len(on) == 0 {
+		for _, a := range analysis.All() {
+			if !skip[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+	} else {
+		for _, n := range on {
+			if !skip[n] {
+				selected = append(selected, byName[n])
+			}
+		}
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return selected, nil
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bitflow/internal/analysis"
+)
+
+// writeModule lays out a throwaway module for the driver to analyze.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	defer func() {
+		os.Stdout = old
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+const goMod = "module tmpvet\n\ngo 1.24\n"
+
+// dirtyCore has a raw goroutine in a package whose import-path suffix
+// puts it under the rawgo rule.
+const dirtyCore = `package core
+
+func fanOut(done chan struct{}) {
+	go func() { done <- struct{}{} }()
+}
+`
+
+const cleanCore = `package core
+
+func fanOut(done chan struct{}) {
+	done <- struct{}{}
+}
+`
+
+// TestExitCodes pins the driver's exit-code contract: findings mean a
+// non-zero exit (the verify.sh / CI gate), -exit-zero suppresses only
+// the exit code, and usage or load errors are distinct from findings.
+func TestExitCodes(t *testing.T) {
+	dirty := writeModule(t, map[string]string{
+		"go.mod":                goMod,
+		"internal/core/core.go": dirtyCore,
+	})
+	clean := writeModule(t, map[string]string{
+		"go.mod":                goMod,
+		"internal/core/core.go": cleanCore,
+	})
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"findings exit 1", []string{"-dir", dirty}, 1},
+		{"findings exit 1 with json", []string{"-dir", dirty, "-json"}, 1},
+		{"exit-zero suppresses", []string{"-dir", dirty, "-exit-zero"}, 0},
+		{"clean tree exits 0", []string{"-dir", clean}, 0},
+		{"unknown analyzer is a usage error", []string{"-enable", "nosuch", "-dir", clean}, 2},
+		{"unknown flag is a usage error", []string{"-frobnicate"}, 2},
+		{"bad dir is a load error", []string{"-dir", filepath.Join(clean, "nope")}, 2},
+		{"list exits 0", []string{"-list"}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var got int
+			capture(t, func() { got = run(c.args) })
+			if got != c.want {
+				t.Errorf("run(%v) = %d, want %d", c.args, got, c.want)
+			}
+		})
+	}
+}
+
+func TestTextSummaryLine(t *testing.T) {
+	dirty := writeModule(t, map[string]string{
+		"go.mod":                goMod,
+		"internal/core/core.go": dirtyCore,
+	})
+	var code int
+	out := capture(t, func() { code = run([]string{"-dir", dirty}) })
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out, "[rawgo]") {
+		t.Errorf("output missing the rawgo finding:\n%s", out)
+	}
+	if !strings.Contains(out, "bitflow-vet: 1 findings, 1 files checked") {
+		t.Errorf("output missing the summary line:\n%s", out)
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	dirty := writeModule(t, map[string]string{
+		"go.mod":                goMod,
+		"internal/core/core.go": dirtyCore,
+	})
+	var code int
+	out := capture(t, func() { code = run([]string{"-dir", dirty, "-json", "-exit-zero"}) })
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 under -exit-zero", code)
+	}
+	var report struct {
+		Findings []analysis.Finding `json:"findings"`
+		Files    int                `json:"files"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(report.Findings) != 1 || report.Findings[0].Analyzer != "rawgo" {
+		t.Errorf("findings = %+v, want one rawgo finding", report.Findings)
+	}
+	if report.Files != 1 {
+		t.Errorf("files = %d, want 1", report.Files)
+	}
+}
+
+// TestJSONEmptyFindingsIsArray pins the report shape CI consumes: no
+// findings must serialize as [], not null.
+func TestJSONEmptyFindingsIsArray(t *testing.T) {
+	clean := writeModule(t, map[string]string{
+		"go.mod":                goMod,
+		"internal/core/core.go": cleanCore,
+	})
+	var code int
+	out := capture(t, func() { code = run([]string{"-dir", clean, "-json"}) })
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if !strings.Contains(out, `"findings": []`) {
+		t.Errorf("empty findings should serialize as []:\n%s", out)
+	}
+}
+
+// TestAnalyzerSelection exercises -enable/-disable against the dirty
+// module: disabling rawgo must hide the finding (exit 0).
+func TestAnalyzerSelection(t *testing.T) {
+	dirty := writeModule(t, map[string]string{
+		"go.mod":                goMod,
+		"internal/core/core.go": dirtyCore,
+	})
+	var code int
+	capture(t, func() { code = run([]string{"-dir", dirty, "-disable", "rawgo"}) })
+	if code != 0 {
+		t.Errorf("with rawgo disabled, exit = %d, want 0", code)
+	}
+	capture(t, func() { code = run([]string{"-dir", dirty, "-enable", "rawgo"}) })
+	if code != 1 {
+		t.Errorf("with only rawgo enabled, exit = %d, want 1", code)
+	}
+}

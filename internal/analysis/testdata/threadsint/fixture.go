@@ -1,0 +1,57 @@
+// Package threadsint is a seeded-violation fixture loaded under the fake
+// import path "fixture/internal/core": operator-package rules apply.
+package threadsint
+
+import "bitflow/internal/exec"
+
+// Forward reintroduces the legacy thread-count parameter.
+func Forward(in, out []float32, threads int) { // want:threadsint
+	_ = threads
+}
+
+// forwardWorkers hits the name list with a different spelling.
+func forwardWorkers(in []float32, nworkers int) { // want:threadsint
+	_ = nworkers
+}
+
+// selfManaged decides its own parallelism instead of accepting a context
+// (unexported so only the constructor rule fires, not the exported-API one).
+func selfManaged(in, out []int32) {
+	ec := exec.Threads(8) // want:threadsint
+	ec.ParallelFor(len(in), func(start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = in[i]
+		}
+	})
+}
+
+// SmuggledCtx is exported, drives ParallelFor, but takes no *exec.Ctx.
+func SmuggledCtx(in, out []int32) { // want:threadsint
+	ec := smuggle()
+	ec.ParallelFor(len(in), func(start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = in[i]
+		}
+	})
+}
+
+func smuggle() *exec.Ctx { return exec.Serial() }
+
+// Fixed is the sanctioned form: the caller decides parallelism.
+func Fixed(in, out []int32, ec *exec.Ctx) {
+	ec.ParallelFor(len(in), func(start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = in[i]
+		}
+	})
+}
+
+// serialHelper may use exec.Serial freely: it is the explicit
+// "no parallelism" value, not a parallelism decision.
+func serialHelper(in, out []int32) {
+	exec.Serial().ParallelFor(len(in), func(start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = in[i]
+		}
+	})
+}

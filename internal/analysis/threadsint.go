@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ThreadsInt keeps the pre-exec.Ctx calling convention from creeping
+// back into operator and kernel code. Three shapes are flagged inside
+// internal/core and internal/kernels:
+//
+//  1. an int parameter named threads/nthreads/workers/... — the old
+//     per-call plumbing the execution-context layer replaced;
+//  2. a call to an exec context constructor (exec.Threads, exec.Pooled,
+//     exec.Default, exec.NewPool) — operators receive a *exec.Ctx from
+//     the caller, they never decide parallelism themselves (exec.Serial
+//     is allowed: it is the explicit "no parallelism" value);
+//  3. an exported function that drives exec.Ctx.ParallelFor without
+//     taking a *exec.Ctx parameter — multi-core work with a smuggled
+//     context.
+var ThreadsInt = &Analyzer{
+	Name: "threadsint",
+	Doc:  "threads-int parameters or self-managed parallelism in internal/core and internal/kernels",
+	Run:  runThreadsInt,
+}
+
+var threadsParamNames = map[string]bool{
+	"threads": true, "nthreads": true, "numthreads": true,
+	"workers": true, "nworkers": true, "numworkers": true,
+	"parallelism": true, "ncpu": true, "numcpu": true,
+}
+
+// execCtxConstructors are the exec package functions that mint a
+// context or pool; exec.Serial is deliberately absent.
+var execCtxConstructors = map[string]bool{
+	"Threads": true, "Pooled": true, "Default": true, "NewPool": true,
+}
+
+func runThreadsInt(p *Program) []Finding {
+	var out []Finding
+	for _, pkg := range p.Pkgs {
+		if !pathSuffix(pkg.Path, "internal/core") && !pathSuffix(pkg.Path, "internal/kernels") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				out = append(out, checkThreadsParams(p, pkg, fd)...)
+				out = append(out, checkSelfManaged(p, pkg, fd)...)
+			}
+		}
+	}
+	return out
+}
+
+// checkThreadsParams flags integer parameters whose names announce
+// thread counts.
+func checkThreadsParams(p *Program, pkg *Package, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		t := pkg.Info.Types[field.Type].Type
+		if t == nil {
+			continue
+		}
+		basic, ok := t.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsInteger == 0 {
+			continue
+		}
+		for _, name := range field.Names {
+			if threadsParamNames[strings.ToLower(name.Name)] {
+				out = append(out, p.finding("threadsint", name.Pos(),
+					"%s takes a thread-count parameter %q; operators receive a *exec.Ctx instead",
+					fd.Name.Name, name.Name))
+			}
+		}
+	}
+	return out
+}
+
+// checkSelfManaged flags exec context construction inside the function
+// and, for exported functions, ParallelFor use without a *exec.Ctx
+// parameter.
+func checkSelfManaged(p *Program, pkg *Package, fd *ast.FuncDecl) []Finding {
+	if fd.Body == nil {
+		return nil
+	}
+	var out []Finding
+	usesParallelFor := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil || !pathSuffix(fn.Pkg().Path(), "internal/exec") {
+			return true
+		}
+		if execCtxConstructors[fn.Name()] {
+			out = append(out, p.finding("threadsint", call.Pos(),
+				"%s constructs its own exec context via exec.%s; parallelism is the caller's decision — accept a *exec.Ctx",
+				fd.Name.Name, fn.Name()))
+		}
+		if fn.Name() == "ParallelFor" {
+			usesParallelFor = true
+		}
+		return true
+	})
+	if usesParallelFor && fd.Name.IsExported() && !hasExecCtxParam(pkg.Info, fd) {
+		out = append(out, p.finding("threadsint", fd.Name.Pos(),
+			"exported %s runs exec.Ctx.ParallelFor but has no *exec.Ctx parameter", fd.Name.Name))
+	}
+	return out
+}
+
+// hasExecCtxParam reports whether any parameter (or the receiver) is a
+// *exec.Ctx.
+func hasExecCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	check := func(fields *ast.FieldList) bool {
+		if fields == nil {
+			return false
+		}
+		for _, field := range fields.List {
+			t := info.Types[field.Type].Type
+			if t == nil {
+				continue
+			}
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				continue
+			}
+			obj := named.Obj()
+			if obj.Name() == "Ctx" && obj.Pkg() != nil && pathSuffix(obj.Pkg().Path(), "internal/exec") {
+				return true
+			}
+		}
+		return false
+	}
+	return check(fd.Type.Params) || check(fd.Recv)
+}

@@ -3,6 +3,7 @@ package baseline
 import (
 	"fmt"
 
+	"bitflow/internal/exec"
 	"bitflow/internal/tensor"
 )
 
@@ -84,28 +85,14 @@ func dotF32(a, b []float32) float32 {
 	return s
 }
 
-// runChunks is the baseline package's thread helper (kept separate from
-// internal/core so the packages stay independent).
+// runChunks is the baseline package's thread helper. It dispatches on a
+// spawn-per-call execution context, keeping the float baseline's
+// historical goroutine-per-chunk cost profile while routing through the
+// same chunking the binary paths use.
 func runChunks(total, threads int, body func(start, end int)) {
 	if threads <= 1 || total <= 1 {
 		body(0, total)
 		return
 	}
-	if threads > total {
-		threads = total
-	}
-	chunk := (total + threads - 1) / threads
-	done := make(chan struct{}, threads)
-	n := 0
-	for start := 0; start < total; start += chunk {
-		end := min(start+chunk, total)
-		n++
-		go func(s, e int) {
-			body(s, e)
-			done <- struct{}{}
-		}(start, end)
-	}
-	for i := 0; i < n; i++ {
-		<-done
-	}
+	exec.Spawn(threads).ParallelFor(total, body)
 }

@@ -3,6 +3,7 @@ package baseline
 import (
 	"fmt"
 
+	"bitflow/internal/exec"
 	"bitflow/internal/tensor"
 )
 
@@ -40,20 +41,9 @@ func SgemmParallel(a, b *tensor.Matrix, threads int) *tensor.Matrix {
 		sgemmRows(a, b, c, 0, a.Rows)
 		return c
 	}
-	done := make(chan struct{}, threads)
-	chunk := (a.Rows + threads - 1) / threads
-	n := 0
-	for r0 := 0; r0 < a.Rows; r0 += chunk {
-		r1 := min(r0+chunk, a.Rows)
-		n++
-		go func(r0, r1 int) {
-			sgemmRows(a, b, c, r0, r1)
-			done <- struct{}{}
-		}(r0, r1)
-	}
-	for i := 0; i < n; i++ {
-		<-done
-	}
+	exec.Spawn(threads).ParallelFor(a.Rows, func(r0, r1 int) {
+		sgemmRows(a, b, c, r0, r1)
+	})
 	return c
 }
 

@@ -1,0 +1,67 @@
+package bitpack
+
+import (
+	"testing"
+
+	"bitflow/internal/tensor"
+)
+
+// FuzzBitpackRoundTrip checks the pack→unpack identity on arbitrary
+// shapes, values, words-per-pixel padding, and margins: every unpacked
+// value must be the sign of the input (+1 for v ≥ 0, −1 otherwise), and
+// re-packing the unpacked ±1 tensor must reproduce the interior words
+// bit-for-bit (idempotence).
+func FuzzBitpackRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(0), []byte{})
+	f.Add(uint8(3), uint8(3), uint8(7), uint8(1), []byte{0x80, 0x01, 0x7F, 0xFF})
+	f.Add(uint8(2), uint8(4), uint8(64), uint8(2), []byte{0xAA, 0x55, 0x00})
+	f.Add(uint8(5), uint8(2), uint8(129), uint8(3), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Fuzz(func(t *testing.T, hRaw, wRaw, cRaw, padRaw uint8, data []byte) {
+		h := int(hRaw)%6 + 1
+		w := int(wRaw)%6 + 1
+		c := int(cRaw)%140 + 1
+		wpp := WordsFor(c) + int(padRaw)%2
+		marginH := int(padRaw) / 4 % 3
+		marginW := int(padRaw) / 16 % 3
+
+		in := tensor.New(h, w, c)
+		// int8-valued inputs cover both signs and zero (zero packs as +1).
+		for i := range in.Data {
+			var b byte
+			if len(data) > 0 {
+				b = data[i%len(data)]
+			}
+			in.Data[i] = float32(int8(b))
+		}
+
+		p := PackTensor(in, wpp, marginH, marginW)
+		out := Unpack(p)
+
+		if out.H != h || out.W != w || out.C != c {
+			t.Fatalf("unpacked shape %dx%dx%d, want %dx%dx%d", out.H, out.W, out.C, h, w, c)
+		}
+		for i, v := range in.Data {
+			want := float32(-1)
+			if v >= 0 {
+				want = 1
+			}
+			if out.Data[i] != want {
+				t.Fatalf("value %d: packed %v, unpacked %v, want %v", i, v, out.Data[i], want)
+			}
+		}
+
+		// Idempotence: packing the ±1 tensor reproduces the same words.
+		p2 := PackTensor(out, wpp, marginH, marginW)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				w1 := p.PixelWords(y, x)
+				w2 := p2.PixelWords(y, x)
+				for i := range w1 {
+					if w1[i] != w2[i] {
+						t.Fatalf("pixel (%d,%d) word %d: %#x != %#x after repack", y, x, i, w1[i], w2[i])
+					}
+				}
+			}
+		}
+	})
+}

@@ -55,9 +55,9 @@ func (cv *Conv) ForwardPackedBatch(ins, outs []*bitpack.Packed, ec *exec.Ctx) {
 		// Per-worker scratch: gathered inputs (image-major, S words each),
 		// one accumulator per image, and the packed output words of the
 		// current pixel for every image.
-		gather := make([]uint64, B*S)
-		accs := make([]int32, B)
-		outW := make([]uint64, B*outWPP)
+		gather := make([]uint64, B*S)    //bitflow:alloc-ok per-worker scratch, amortized over the whole batch
+		accs := make([]int32, B)         //bitflow:alloc-ok per-worker scratch, amortized over the whole batch
+		outW := make([]uint64, B*outWPP) //bitflow:alloc-ok per-worker scratch, amortized over the whole batch
 		for idx := start; idx < end; idx++ {
 			y := idx / s.OutW
 			x := idx % s.OutW
@@ -95,10 +95,46 @@ func (cv *Conv) ForwardPackedBatch(ins, outs []*bitpack.Packed, ec *exec.Ctx) {
 	})
 }
 
+// DenseBatchScratch holds the flat staging buffers the batched dense
+// paths need: the gathered M×N bit matrix for bgemm, its int32 product
+// matrix, and per-image views of the pre-activations. It only ever grows
+// (EnsureBatch semantics): size it once to the max batch and the batched
+// forward paths allocate nothing afterwards.
+type DenseBatchScratch struct {
+	a    []uint64  // B*Plan.Words gathered activation rows (bgemm A)
+	prod []int32   // B*K bgemm products
+	pre  []int32   // B*K pre-activations (ForwardBatch destination)
+	rows [][]int32 // per-image views of pre
+}
+
+// Ensure grows the scratch to serve batches of up to B images of d.
+func (s *DenseBatchScratch) Ensure(d *Dense, B int) {
+	if need := B * d.Plan.Words; cap(s.a) < need {
+		s.a = make([]uint64, need)
+	}
+	if need := B * d.Shape.K; cap(s.prod) < need {
+		s.prod = make([]int32, need)
+		s.pre = make([]int32, need)
+	}
+	for len(s.rows) < B {
+		b := len(s.rows)
+		s.rows = append(s.rows, s.pre[b*d.Shape.K:(b+1)*d.Shape.K])
+	}
+	// A prior Ensure for a different operator (or a re-grown pre) can
+	// leave stale views; rebuild when the first row does not alias pre.
+	if len(s.rows) > 0 && (&s.rows[0][0] != &s.pre[0] || len(s.rows[0]) != d.Shape.K) {
+		s.rows = s.rows[:0]
+		for b := 0; b < B; b++ {
+			s.rows = append(s.rows, s.pre[b*d.Shape.K:(b+1)*d.Shape.K])
+		}
+	}
+}
+
 // ForwardBatch computes the K inner products of B packed activation rows
 // in one bgemm call with M = B: every packed weight row streams through
-// the cache once per batch. out[b] receives image b's K products.
-func (d *Dense) ForwardBatch(ins [][]uint64, outs [][]int32, ec *exec.Ctx) {
+// the cache once per batch. out[b] receives image b's K products. s is
+// caller-owned scratch, grown on demand.
+func (d *Dense) ForwardBatch(ins [][]uint64, outs [][]int32, s *DenseBatchScratch, ec *exec.Ctx) {
 	B := len(ins)
 	if B == 0 || len(outs) != B {
 		panic(fmt.Sprintf("core: dense batch %d inputs, %d outputs", B, len(outs)))
@@ -111,11 +147,12 @@ func (d *Dense) ForwardBatch(ins [][]uint64, outs [][]int32, ec *exec.Ctx) {
 			panic(fmt.Sprintf("core: dense batch output %d has len %d, want K=%d", b, len(outs[b]), d.Shape.K))
 		}
 	}
-	a := make([]uint64, B*d.Plan.Words)
+	s.Ensure(d, B)
+	a := s.a[:B*d.Plan.Words]
 	for b := 0; b < B; b++ {
 		copy(a[b*d.Plan.Words:(b+1)*d.Plan.Words], ins[b])
 	}
-	out := make([]int32, B*d.Shape.K)
+	out := s.prod[:B*d.Shape.K]
 	opts := kernels.BGemmOpts{Kernel: d.Plan.Kernel}
 	kernels.BGemmExec(a, B, d.weights.Words, d.Shape.K, d.Plan.Words, d.Shape.N, out, opts, ec)
 	for b := 0; b < B; b++ {
@@ -125,21 +162,18 @@ func (d *Dense) ForwardBatch(ins [][]uint64, outs [][]int32, ec *exec.Ctx) {
 
 // ForwardPackedBatch is ForwardPacked over B images: one bgemm with
 // M = B, then the fused sign/threshold activation packed per image.
-func (d *Dense) ForwardPackedBatch(ins, outs [][]uint64, ec *exec.Ctx) {
+func (d *Dense) ForwardPackedBatch(ins, outs [][]uint64, s *DenseBatchScratch, ec *exec.Ctx) {
 	B := len(ins)
 	if B == 0 || len(outs) != B {
 		panic(fmt.Sprintf("core: dense batch %d inputs, %d outputs", B, len(outs)))
 	}
+	s.Ensure(d, B)
 	if B == 1 {
-		d.ForwardPacked(ins[0], outs[0], ec)
+		d.ForwardPacked(ins[0], outs[0], s.rows[0], ec)
 		return
 	}
-	tmp := make([][]int32, B)
-	flat := make([]int32, B*d.Shape.K)
-	for b := 0; b < B; b++ {
-		tmp[b] = flat[b*d.Shape.K : (b+1)*d.Shape.K]
-	}
-	d.ForwardBatch(ins, tmp, ec)
+	tmp := s.rows[:B]
+	d.ForwardBatch(ins, tmp, s, ec)
 	for b := 0; b < B; b++ {
 		if len(outs[b]) < bitpack.WordsFor(d.Shape.K) {
 			panic("core: dense packed output too short")
@@ -150,21 +184,18 @@ func (d *Dense) ForwardPackedBatch(ins, outs [][]uint64, ec *exec.Ctx) {
 
 // ForwardFloatBatch is ForwardFloat over B images: one bgemm with M = B,
 // then the float conversion and optional affine per image.
-func (d *Dense) ForwardFloatBatch(ins [][]uint64, outs [][]float32, ec *exec.Ctx) {
+func (d *Dense) ForwardFloatBatch(ins [][]uint64, outs [][]float32, s *DenseBatchScratch, ec *exec.Ctx) {
 	B := len(ins)
 	if B == 0 || len(outs) != B {
 		panic(fmt.Sprintf("core: dense batch %d inputs, %d outputs", B, len(outs)))
 	}
+	s.Ensure(d, B)
 	if B == 1 {
-		d.ForwardFloat(ins[0], outs[0], ec)
+		d.ForwardFloat(ins[0], outs[0], s.rows[0], ec)
 		return
 	}
-	tmp := make([][]int32, B)
-	flat := make([]int32, B*d.Shape.K)
-	for b := 0; b < B; b++ {
-		tmp[b] = flat[b*d.Shape.K : (b+1)*d.Shape.K]
-	}
-	d.ForwardBatch(ins, tmp, ec)
+	tmp := s.rows[:B]
+	d.ForwardBatch(ins, tmp, s, ec)
 	for b := 0; b < B; b++ {
 		if d.affine != nil {
 			d.affine.Apply(tmp[b], outs[b])

@@ -118,9 +118,9 @@ func TestDenseBatchBitIdentical(t *testing.T) {
 			outs[b] = make([]uint64, bitpack.WordsFor(K))
 			want[b] = make([]uint64, bitpack.WordsFor(K))
 		}
-		d.ForwardPackedBatch(ins, outs, exec.Serial())
+		d.ForwardPackedBatch(ins, outs, &DenseBatchScratch{}, exec.Serial())
 		for b := 0; b < B; b++ {
-			d.ForwardPacked(ins[b], want[b], exec.Serial())
+			d.ForwardPacked(ins[b], want[b], d.NewScratch(), exec.Serial())
 			for i := range want[b] {
 				if outs[b][i] != want[b][i] {
 					t.Fatalf("packed B=%d image %d word %d differs", B, b, i)
@@ -133,9 +133,9 @@ func TestDenseBatchBitIdentical(t *testing.T) {
 		for b := 0; b < B; b++ {
 			foutsB[b] = make([]float32, K)
 		}
-		d.ForwardFloatBatch(ins, foutsB, exec.Serial())
+		d.ForwardFloatBatch(ins, foutsB, &DenseBatchScratch{}, exec.Serial())
 		for b := 0; b < B; b++ {
-			d.ForwardFloat(ins[b], fwant, exec.Serial())
+			d.ForwardFloat(ins[b], fwant, d.NewScratch(), exec.Serial())
 			for i := range fwant {
 				if foutsB[b][i] != fwant[i] {
 					t.Fatalf("float B=%d image %d logit %d differs", B, b, i)

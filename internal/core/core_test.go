@@ -327,7 +327,7 @@ func TestDenseForwardVariants(t *testing.T) {
 	d.Forward(in, ints, exec.Threads(2))
 
 	floats := make([]float32, k)
-	d.ForwardFloat(in, floats, exec.Threads(2))
+	d.ForwardFloat(in, floats, d.NewScratch(), exec.Threads(2))
 	for i := range ints {
 		if floats[i] != float32(ints[i]) {
 			t.Fatalf("ForwardFloat[%d] = %v want %v", i, floats[i], ints[i])
@@ -335,7 +335,7 @@ func TestDenseForwardVariants(t *testing.T) {
 	}
 
 	packedOut := make([]uint64, bitpack.WordsFor(k)+1)
-	d.ForwardPacked(in, packedOut, exec.Threads(2))
+	d.ForwardPacked(in, packedOut, d.NewScratch(), exec.Threads(2))
 	back := bitpack.UnpackVector(packedOut, k)
 	for i := range ints {
 		want := float32(1)

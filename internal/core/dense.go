@@ -90,6 +90,11 @@ func (d *Dense) OutAffine() *Affine { return d.affine }
 // NewInput allocates a packed activation row for this operator.
 func (d *Dense) NewInput() []uint64 { return make([]uint64, d.Plan.Words) }
 
+// NewScratch allocates the K-length pre-activation scratch ForwardFloat
+// and ForwardPacked require. Allocate once at build time and reuse per
+// call — the per-inference path itself stays allocation-free.
+func (d *Dense) NewScratch() []int32 { return make([]int32, d.Shape.K) }
+
 // Forward computes the K inner products of the packed activation row in
 // (Plan.Words words, N valid bits) into out (len K). ec splits the
 // K dimension.
@@ -106,8 +111,12 @@ func (d *Dense) Forward(in []uint64, out []int32, ec *exec.Ctx) {
 
 // ForwardFloat is Forward plus a float conversion and the optional
 // affine (batch-norm/bias) post-processing — the final classifier path.
-func (d *Dense) ForwardFloat(in []uint64, out []float32, ec *exec.Ctx) {
-	tmp := make([]int32, d.Shape.K)
+// tmp is caller-owned pre-activation scratch (len K, see NewScratch), so
+// repeated inferences allocate nothing.
+func (d *Dense) ForwardFloat(in []uint64, out []float32, tmp []int32, ec *exec.Ctx) {
+	if len(tmp) != d.Shape.K {
+		panic(fmt.Sprintf("core: dense scratch len %d, want K=%d", len(tmp), d.Shape.K))
+	}
 	d.Forward(in, tmp, ec)
 	if d.affine != nil {
 		d.affine.Apply(tmp, out)
@@ -120,9 +129,12 @@ func (d *Dense) ForwardFloat(in []uint64, out []float32, ec *exec.Ctx) {
 
 // ForwardPacked computes the K inner products and writes their sign bits
 // into out (≥ WordsFor(K) words, trailing lanes cleared) — the fused
-// activation for fc→fc chains (fc6 → sign → fc7).
-func (d *Dense) ForwardPacked(in []uint64, out []uint64, ec *exec.Ctx) {
-	tmp := make([]int32, d.Shape.K)
+// activation for fc→fc chains (fc6 → sign → fc7). tmp is caller-owned
+// pre-activation scratch (len K, see NewScratch).
+func (d *Dense) ForwardPacked(in []uint64, out []uint64, tmp []int32, ec *exec.Ctx) {
+	if len(tmp) != d.Shape.K {
+		panic(fmt.Sprintf("core: dense scratch len %d, want K=%d", len(tmp), d.Shape.K))
+	}
 	d.Forward(in, tmp, ec)
 	if len(out) < bitpack.WordsFor(d.Shape.K) {
 		panic("core: dense packed output too short")

@@ -66,7 +66,7 @@ func (fc *FloatConv) Forward(in *tensor.Tensor, out *bitpack.Packed, ec *exec.Ct
 	}
 	total := s.OutH * s.OutW
 	ec.ParallelFor(total, func(start, end int) {
-		dots := make([]float32, s.K)
+		dots := make([]float32, s.K) //bitflow:alloc-ok per-worker scratch; the float stem runs once per image
 		for idx := start; idx < end; idx++ {
 			y := idx / s.OutW
 			x := idx % s.OutW

@@ -30,7 +30,7 @@ type Ctx struct {
 
 // Serial returns a context that runs everything inline on the caller's
 // goroutine — the threads=1 case of the old plumbing.
-func Serial() *Ctx { return &Ctx{threads: 1} }
+func Serial() *Ctx { return &Ctx{threads: 1} } //bitflow:alloc-ok tiny context header; the sanctioned path attaches one via SetExec and reuses it
 
 // Threads returns a context dispatching on the shared default pool with
 // the given budget — the drop-in replacement for a raw `threads int`.
@@ -38,6 +38,7 @@ func Threads(n int) *Ctx {
 	if n <= 1 {
 		return Serial()
 	}
+	//bitflow:alloc-ok tiny context header on the legacy Threads knob; SetExec callers construct once
 	return &Ctx{pool: Default(), threads: n}
 }
 
@@ -156,6 +157,7 @@ func (c *Ctx) ParallelFor(total int, body func(start, end int)) {
 		body(0, total)
 		return
 	}
+	//bitflow:alloc-ok one job header + completion channel per parallel region, needed for claim-loop state and panic propagation
 	j := &job{body: body, total: total, chunk: chunk, fin: make(chan struct{})}
 	j.pending.Store(int64(nchunks))
 	if c.spawn || c.pool == nil {

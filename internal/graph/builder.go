@@ -397,7 +397,7 @@ func (b *Builder) buildFrom(src opSource) (*Network, error) {
 				}
 				actFolded = true
 			}
-			l := &denseLayer{lname: sp.name, op: op, in: in}
+			l := &denseLayer{lname: sp.name, op: op, in: in, tmp: op.NewScratch()}
 			n.layers = append(n.layers, l)
 			if last {
 				l.floatOut = make([]float32, sp.units)

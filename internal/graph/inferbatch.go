@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"bitflow/internal/bitpack"
+	"bitflow/internal/core"
 	"bitflow/internal/exec"
 	"bitflow/internal/tensor"
 )
@@ -51,18 +52,66 @@ func (n *Network) CheckInputFinite(x *tensor.Tensor) error {
 	return nil
 }
 
+// batchWiring pre-collects, for one layer, the lane buffer slices the
+// batched operator paths consume, so forwardLayerBatch hands them over
+// without assembling anything per batch. Exactly one family of fields is
+// populated, matching the layer's type.
+type batchWiring struct {
+	convIns, convOuts []*bitpack.Packed
+
+	denseIns    [][]uint64
+	densePacked [][]uint64
+	denseFloat  [][]float32
+	denseTmp    *core.DenseBatchScratch
+}
+
 // EnsureBatch grows the network's lane pool to serve batches of up to b
 // images without further allocation. Lane 0 is the network itself; extra
 // lanes are clones sharing the packed weights. The pool only ever grows —
 // a batcher sizes it once to its max-batch at startup, the "grown once"
 // buffer scheme of the batched path.
 func (n *Network) EnsureBatch(b int) {
+	grown := len(n.wiring) == 0
 	for len(n.lanes) < b {
 		if len(n.lanes) == 0 {
 			n.lanes = append(n.lanes, n)
 			continue
 		}
 		n.lanes = append(n.lanes, n.Clone())
+		grown = true
+	}
+	if grown {
+		n.rewireBatch()
+	}
+}
+
+// rewireBatch rebuilds the per-layer wiring for the current lane pool.
+func (n *Network) rewireBatch() {
+	B := len(n.lanes)
+	n.wiring = make([]batchWiring, len(n.layers))
+	for li, base := range n.layers {
+		w := &n.wiring[li]
+		switch base.(type) {
+		case *convLayer:
+			w.convIns = make([]*bitpack.Packed, B)
+			w.convOuts = make([]*bitpack.Packed, B)
+			for b, lane := range n.lanes {
+				cl := lane.layers[li].(*convLayer)
+				w.convIns[b], w.convOuts[b] = cl.in, cl.out
+			}
+		case *denseLayer:
+			w.denseIns = make([][]uint64, B)
+			w.densePacked = make([][]uint64, B)
+			w.denseFloat = make([][]float32, B)
+			w.denseTmp = &core.DenseBatchScratch{}
+			for b, lane := range n.lanes {
+				dl := lane.layers[li].(*denseLayer)
+				w.denseIns[b] = dl.in
+				w.densePacked[b] = dl.packedOut
+				w.denseFloat[b] = dl.floatOut
+			}
+			w.denseTmp.Ensure(base.(*denseLayer).op, B)
+		}
 	}
 }
 
@@ -83,6 +132,7 @@ func (n *Network) InferBatch(xs []*tensor.Tensor) ([][]float32, error) {
 	}
 	for i, x := range xs {
 		if err := n.CheckInputFinite(x); err != nil {
+			//bitflow:alloc-ok validation failure path; no forward pass runs
 			return nil, &BatchInputError{Index: i, Err: err}
 		}
 	}
@@ -91,8 +141,10 @@ func (n *Network) InferBatch(xs []*tensor.Tensor) ([][]float32, error) {
 		// execution context, matching the B>1 layer-sweep below.
 		out, err := n.InferContext(nil, xs[0])
 		if err != nil {
+			//bitflow:alloc-ok failure path; the error escapes
 			return nil, &BatchInputError{Index: 0, Err: err}
 		}
+		//bitflow:alloc-ok result wrapper escapes to the caller
 		return [][]float32{out}, nil
 	}
 	n.EnsureBatch(B)
@@ -107,8 +159,10 @@ func (n *Network) InferBatch(xs []*tensor.Tensor) ([][]float32, error) {
 		}
 		n.forwardLayerBatch(li, lanes, ec)
 	}
+	//bitflow:alloc-ok result slices escape to the caller; lane buffers are reused by the next batch
 	outs := make([][]float32, B)
 	for b, lane := range lanes {
+		//bitflow:alloc-ok result slices escape to the caller
 		outs[b] = make([]float32, len(lane.output))
 		copy(outs[b], lane.output)
 	}
@@ -121,33 +175,16 @@ func (n *Network) InferBatch(xs []*tensor.Tensor) ([][]float32, error) {
 // per lane.
 func (n *Network) forwardLayerBatch(li int, lanes []*Network, ec *exec.Ctx) {
 	B := len(lanes)
+	w := &n.wiring[li]
 	switch l := n.layers[li].(type) {
 	case *convLayer:
-		ins := make([]*bitpack.Packed, B)
-		outs := make([]*bitpack.Packed, B)
-		for b, lane := range lanes {
-			cl := lane.layers[li].(*convLayer)
-			ins[b], outs[b] = cl.in, cl.out
-		}
-		l.op.ForwardPackedBatch(ins, outs, ec)
+		l.op.ForwardPackedBatch(w.convIns[:B], w.convOuts[:B], ec)
 	case *denseLayer:
-		ins := make([][]uint64, B)
-		for b, lane := range lanes {
-			ins[b] = lane.layers[li].(*denseLayer).in
-		}
 		if l.floatOut != nil {
-			outs := make([][]float32, B)
-			for b, lane := range lanes {
-				outs[b] = lane.layers[li].(*denseLayer).floatOut
-			}
-			l.op.ForwardFloatBatch(ins, outs, ec)
+			l.op.ForwardFloatBatch(w.denseIns[:B], w.denseFloat[:B], w.denseTmp, ec)
 			return
 		}
-		outs := make([][]uint64, B)
-		for b, lane := range lanes {
-			outs[b] = lane.layers[li].(*denseLayer).packedOut
-		}
-		l.op.ForwardPackedBatch(ins, outs, ec)
+		l.op.ForwardPackedBatch(w.denseIns[:B], w.densePacked[:B], w.denseTmp, ec)
 	default:
 		for _, lane := range lanes {
 			lane.layers[li].forward(ec)

@@ -66,6 +66,11 @@ type Network struct {
 	// lane 0 is the network itself, the rest are clones sharing the
 	// packed weights. Grown once by EnsureBatch, never shrunk.
 	lanes []*Network
+
+	// wiring holds the per-layer lane buffer slices InferBatch hands the
+	// batched operator paths, pre-collected by EnsureBatch so the
+	// layer-major sweep allocates nothing per batch.
+	wiring []batchWiring
 }
 
 // LayerInfo describes one layer for reporting.
@@ -181,6 +186,7 @@ func (n *Network) InferContext(ctx context.Context, x *tensor.Tensor) ([]float32
 			obs(l.name(), l.kind(), time.Since(t0))
 		}
 	}
+	//bitflow:alloc-ok result slice escapes to the caller; returning a view of n.output would race with the next inference
 	out := make([]float32, len(n.output))
 	copy(out, n.output)
 	return out, nil
@@ -200,18 +206,22 @@ type LayerTiming struct {
 // (the input binarize+pack is reported as layer "input").
 func (n *Network) InferTimed(x *tensor.Tensor) ([]float32, []LayerTiming) {
 	ec := n.execCtx()
+	//bitflow:alloc-ok InferTimed is a diagnostic entry point, not the serving path; the timings report escapes
 	timings := make([]LayerTiming, 0, len(n.layers)+1)
 	t0 := time.Now()
 	n.feedInput(x)
+	//bitflow:alloc-ok diagnostic path, capacity reserved above
 	timings = append(timings, LayerTiming{Name: "input", Kind: "pack", Duration: time.Since(t0)})
 	for _, l := range n.layers {
 		t0 = time.Now()
 		l.forward(ec)
+		//bitflow:alloc-ok diagnostic path, capacity reserved above
 		timings = append(timings, LayerTiming{
 			Name: l.name(), Kind: l.kind(), Duration: time.Since(t0),
 			Units: l.parallelUnits(),
 		})
 	}
+	//bitflow:alloc-ok result slice escapes to the caller
 	out := make([]float32, len(n.output))
 	copy(out, n.output)
 	return out, timings
@@ -334,6 +344,10 @@ type denseLayer struct {
 	// emits float logits.
 	packedOut []uint64
 	floatOut  []float32
+
+	// tmp is the K-length pre-activation scratch, allocated at build
+	// time (per clone — the shared operator carries no mutable state).
+	tmp []int32
 }
 
 func (l *denseLayer) name() string    { return l.lname }
@@ -341,10 +355,10 @@ func (l *denseLayer) kind() string    { return "fc" }
 func (l *denseLayer) outDims() string { return fmt.Sprintf("%d", l.op.Shape.K) }
 func (l *denseLayer) forward(ec *exec.Ctx) {
 	if l.floatOut != nil {
-		l.op.ForwardFloat(l.in, l.floatOut, ec)
+		l.op.ForwardFloat(l.in, l.floatOut, l.tmp, ec)
 		return
 	}
-	l.op.ForwardPacked(l.in, l.packedOut, ec)
+	l.op.ForwardPacked(l.in, l.packedOut, l.tmp, ec)
 }
 func (l *denseLayer) weightStats() (int64, int64) {
 	s := l.op.Shape

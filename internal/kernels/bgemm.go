@@ -1,8 +1,6 @@
 package kernels
 
 import (
-	"fmt"
-
 	"bitflow/internal/exec"
 )
 
@@ -41,13 +39,13 @@ func (o *BGemmOpts) fill() {
 func BGemm(a []uint64, m int, bT []uint64, k int, wpr, n int, out []int32, opts BGemmOpts) {
 	opts.fill()
 	if len(a) != m*wpr {
-		panic(fmt.Sprintf("kernels: BGemm len(a)=%d want %d", len(a), m*wpr))
+		panicSize("BGemm", "a", len(a), m*wpr)
 	}
 	if len(bT) != k*wpr {
-		panic(fmt.Sprintf("kernels: BGemm len(bT)=%d want %d", len(bT), k*wpr))
+		panicSize("BGemm", "bT", len(bT), k*wpr)
 	}
 	if len(out) != m*k {
-		panic(fmt.Sprintf("kernels: BGemm len(out)=%d want %d", len(out), m*k))
+		panicSize("BGemm", "out", len(out), m*k)
 	}
 	f := opts.Kernel
 	n32 := int32(n)
@@ -90,46 +88,17 @@ func BGemmExec(a []uint64, m int, bT []uint64, k int, wpr, n int, out []int32, o
 	}
 	opts.fill()
 	if len(a) != m*wpr {
-		panic(fmt.Sprintf("kernels: BGemmExec len(a)=%d want %d", len(a), m*wpr))
+		panicSize("BGemmExec", "a", len(a), m*wpr)
 	}
 	if len(bT) != k*wpr {
-		panic(fmt.Sprintf("kernels: BGemmExec len(bT)=%d want %d", len(bT), k*wpr))
+		panicSize("BGemmExec", "bT", len(bT), k*wpr)
 	}
 	if len(out) != m*k {
-		panic(fmt.Sprintf("kernels: BGemmExec len(out)=%d want %d", len(out), m*k))
+		panicSize("BGemmExec", "out", len(out), m*k)
 	}
 	ec.ParallelFor(k, func(k0, k1 int) {
 		bgemmCols(a, m, bT, k, wpr, n, out, opts, k0, k1)
 	})
-}
-
-// BGemmParallel runs BGemm with the K dimension split across `threads`
-// freshly spawned goroutines — the legacy spawn-per-call dispatch, kept
-// as the baseline the pooled path is benchmarked against.
-// threads <= 1 degrades to the serial path.
-func BGemmParallel(a []uint64, m int, bT []uint64, k int, wpr, n int, out []int32, opts BGemmOpts, threads int) {
-	if threads <= 1 || k < 2*threads {
-		BGemm(a, m, bT, k, wpr, n, out, opts)
-		return
-	}
-	opts.fill()
-	done := make(chan struct{}, threads)
-	chunk := (k + threads - 1) / threads
-	for t := 0; t < threads; t++ {
-		k0 := t * chunk
-		k1 := min(k0+chunk, k)
-		if k0 >= k1 {
-			done <- struct{}{}
-			continue
-		}
-		go func(k0, k1 int) {
-			defer func() { done <- struct{}{} }()
-			bgemmCols(a, m, bT, k, wpr, n, out, opts, k0, k1)
-		}(k0, k1)
-	}
-	for t := 0; t < threads; t++ {
-		<-done
-	}
 }
 
 // bgemmCols computes output columns [k0, k1) only.

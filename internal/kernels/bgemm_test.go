@@ -3,6 +3,7 @@ package kernels
 import (
 	"testing"
 
+	"bitflow/internal/exec"
 	"bitflow/internal/workload"
 )
 
@@ -94,8 +95,9 @@ func TestBGemmParallelMatchesSerial(t *testing.T) {
 	want := make([]int32, m*k)
 	BGemm(a, m, bT, k, wpr, n, want, BGemmOpts{})
 	for _, threads := range []int{0, 1, 2, 4, 16, 300} {
+		ec := exec.Spawn(threads)
 		got := make([]int32, m*k)
-		BGemmParallel(a, m, bT, k, wpr, n, got, BGemmOpts{}, threads)
+		BGemmExec(a, m, bT, k, wpr, n, got, BGemmOpts{}, ec)
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("threads %d: out[%d] = %d want %d", threads, i, got[i], want[i])

@@ -72,7 +72,8 @@ func ForWidth(w Width) XorPopFunc {
 	case W512:
 		return XorPop512
 	}
-	panic("kernels: unknown width")
+	panicUnknownWidth()
+	return nil
 }
 
 // XorPopMasked is the analogue of _mm512_maskz_xor_epi64 +

@@ -99,5 +99,6 @@ func BatchForWidth(w Width) XorPopBatchFunc {
 	case W512:
 		return XorPopBatch512
 	}
-	panic("kernels: unknown width")
+	panicUnknownWidth()
+	return nil
 }

@@ -88,5 +88,6 @@ func RowsForWidth(w Width) XorPopRowsFunc {
 	case W512:
 		return XorPopRows512
 	}
-	panic("kernels: unknown width")
+	panicUnknownWidth()
+	return nil
 }

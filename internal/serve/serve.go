@@ -488,6 +488,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
+	//bitflow:panic-ok FromSlice only panics on a length mismatch, ruled out by the check above
 	x := tensor.FromSlice(s.meta.InputH, s.meta.InputW, s.meta.InputC, req.Data)
 
 	// Admission: wait for a slot inside the bounded queue, giving up
@@ -510,6 +511,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	//bitflow:panic-ok Release pairs with the successful Acquire above; its panic is a misuse guard, not a request-reachable state
 	defer s.gate.Release()
 
 	if s.batcher != nil {

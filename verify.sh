@@ -14,10 +14,13 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
+echo "== bitflow-vet ./... (repo invariants: rawgo threadsint hotalloc panicpath)"
+go run ./cmd/bitflow-vet ./...
+
 echo "== go test $* ./..."
 go test "$@" ./...
 
-echo "== go test -race -shuffle=on ./internal/exec/... ./internal/serve/... ./internal/resilience/... ./internal/batch/..."
-go test -race -shuffle=on ./internal/exec/... ./internal/serve/... ./internal/resilience/... ./internal/batch/...
+echo "== go test -race -shuffle=on ./internal/exec/... ./internal/serve/... ./internal/resilience/... ./internal/batch/... ./internal/core/..."
+go test -race -shuffle=on ./internal/exec/... ./internal/serve/... ./internal/resilience/... ./internal/batch/... ./internal/core/...
 
 echo "verify: OK"
