@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bitflow/internal/faultinject"
 	"bitflow/internal/resilience"
 	"bitflow/internal/tensor"
 )
@@ -308,6 +309,12 @@ func (b *Batcher) runBatch(r Runner, reqs []*request, reason resilience.FlushRea
 	var outs [][]float32
 	var runErr error
 	panicErr := resilience.Safe(func() {
+		// batch.dispatch fires inside the Safe boundary: an injected panic
+		// is captured exactly like a real runner crash, an injected error
+		// fails the batch like a real runner error.
+		if runErr = faultinject.BatchDispatch.Fire(nil, "", len(reqs)); runErr != nil {
+			return
+		}
 		outs, runErr = r.InferBatch(xs)
 	})
 	switch {
@@ -323,7 +330,10 @@ func (b *Batcher) runBatch(r Runner, reqs []*request, reason resilience.FlushRea
 		// suspect runner beats serving with none.
 		var fresh Runner
 		var err error
-		if ferr := resilience.Safe(func() { fresh, err = b.cfg.NewRunner() }); ferr == nil && err == nil && fresh != nil {
+		if ferr := resilience.Safe(func() {
+			_ = faultinject.BatchClone.Fire(nil, "", 0)
+			fresh, err = b.cfg.NewRunner()
+		}); ferr == nil && err == nil && fresh != nil {
 			return fresh
 		}
 		return r

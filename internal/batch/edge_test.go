@@ -1,0 +1,198 @@
+package batch
+
+// Boundary tests for the coalescing math: degenerate window/size-cap
+// configurations, queue-cap edges, and cancellation racing the flush.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"bitflow/internal/resilience"
+)
+
+// TestConfigDefaultBoundaries pins withDefaults at its edges: zero and
+// negative knobs normalize, and the derived queue cap is computed from
+// the POST-default worker and batch values.
+func TestConfigDefaultBoundaries(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		in   Config
+		want Config
+	}{
+		{
+			name: "all zero",
+			in:   Config{},
+			want: Config{Window: 2 * time.Millisecond, MaxBatch: 8, Workers: 1, QueueCap: 16},
+		},
+		{
+			name: "negative window and batch",
+			in:   Config{Window: -time.Second, MaxBatch: -4},
+			want: Config{Window: 2 * time.Millisecond, MaxBatch: 8, Workers: 1, QueueCap: 16},
+		},
+		{
+			name: "max-batch one",
+			in:   Config{MaxBatch: 1, Workers: 3},
+			want: Config{Window: 2 * time.Millisecond, MaxBatch: 1, Workers: 3, QueueCap: 6},
+		},
+		{
+			name: "explicit values survive",
+			in:   Config{Window: time.Millisecond, MaxBatch: 4, Workers: 2, QueueCap: 5},
+			want: Config{Window: time.Millisecond, MaxBatch: 4, Workers: 2, QueueCap: 5},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.in.withDefaults()
+			if got.Window != tc.want.Window || got.MaxBatch != tc.want.MaxBatch ||
+				got.Workers != tc.want.Workers || got.QueueCap != tc.want.QueueCap {
+				t.Errorf("withDefaults(%+v) = {Window:%v MaxBatch:%d Workers:%d QueueCap:%d}, want %+v",
+					tc.in, got.Window, got.MaxBatch, got.Workers, got.QueueCap, tc.want)
+			}
+		})
+	}
+}
+
+// TestWindowZeroStillFlushes proves a zero window is a configuration to
+// normalize, not a hang: a lone request must come back within the
+// defaulted 2ms window, not wait for a full batch forever.
+func TestWindowZeroStillFlushes(t *testing.T) {
+	r := &fakeRunner{}
+	b := newTestBatcher(t, Config{Window: 0, MaxBatch: 8}, r)
+	t0 := time.Now()
+	out, err := b.Submit(context.Background(), tens(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 6 {
+		t.Errorf("logits %v, want [6]", out)
+	}
+	if el := time.Since(t0); el > time.Second {
+		t.Errorf("lone request took %v under a defaulted window", el)
+	}
+}
+
+// TestMaxBatchOneDegeneratesToSingletons pins the size-cap floor: with
+// MaxBatch=1 every dispatch is a singleton flushed for reason size-cap
+// (the cap is hit by the batch's first member; the window never starts).
+func TestMaxBatchOneDegeneratesToSingletons(t *testing.T) {
+	r := &fakeRunner{}
+	m := resilience.NewMetrics(16)
+	b := newTestBatcher(t, Config{Window: 50 * time.Millisecond, MaxBatch: 1, QueueCap: 64, Metrics: m}, r)
+
+	const N = 12
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := b.Submit(context.Background(), tens(float32(i)))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+			} else if out[0] != float32(2*i) {
+				t.Errorf("request %d: got %v", i, out)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := r.batches.Load(); got != N {
+		t.Errorf("%d batches for %d requests; MaxBatch=1 must never coalesce", got, N)
+	}
+	if got := m.BatchMaxOccupancy.Load(); got != 1 {
+		t.Errorf("max occupancy %d, want 1", got)
+	}
+	if full, window := m.BatchFlushFull.Load(), m.BatchFlushWindow.Load(); full != N || window != 0 {
+		t.Errorf("flush reasons: size-cap=%d window=%d, want %d/0 — a singleton cap IS a full batch", full, window, N)
+	}
+}
+
+// TestPreCancelledSeatDropsAtAssembly submits with an already-dead
+// context: the caller gets its context error, the abandoned seat is
+// discarded when the batch assembles, and the batcher keeps serving.
+func TestPreCancelledSeatDropsAtAssembly(t *testing.T) {
+	r := &fakeRunner{}
+	b := newTestBatcher(t, Config{Window: 5 * time.Millisecond, MaxBatch: 4, QueueCap: 16}, r)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Submit(ctx, tens(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Submit returned %v, want context.Canceled", err)
+	}
+
+	// The dropped seat must not poison the batcher or leak into a batch.
+	out, err := b.Submit(context.Background(), tens(2))
+	if err != nil {
+		t.Fatalf("follow-up request after a dropped seat: %v", err)
+	}
+	if out[0] != 4 {
+		t.Errorf("follow-up logits %v, want [4]", out)
+	}
+}
+
+// TestCancellationRacingFlush sweeps client deadlines across the flush
+// window so cancellations land before, during, and after batch assembly.
+// Whatever the interleaving, every Submit must return exactly once —
+// either a real result or the context error — and the batcher must stay
+// healthy afterwards.
+func TestCancellationRacingFlush(t *testing.T) {
+	r := &fakeRunner{delay: 2 * time.Millisecond}
+	b := newTestBatcher(t, Config{Window: 10 * time.Millisecond, MaxBatch: 4, QueueCap: 64}, r)
+
+	const N = 24
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Deadlines straddle the 10ms window: 1ms..24ms.
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i+1)*time.Millisecond)
+			defer cancel()
+			out, err := b.Submit(ctx, tens(float32(i)))
+			switch {
+			case err == nil:
+				if out[0] != float32(2*i) {
+					t.Errorf("request %d: wrong result %v after racing the flush", i, out)
+				}
+			case errors.Is(err, context.DeadlineExceeded):
+				// gave up first: fine, as long as it returned exactly once
+			default:
+				t.Errorf("request %d: unexpected error %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	out, err := b.Submit(context.Background(), tens(5))
+	if err != nil || out[0] != 10 {
+		t.Fatalf("batcher unhealthy after cancellation storm: out=%v err=%v", out, err)
+	}
+}
+
+// TestQueueCapBoundary pins the admission edge: with one worker wedged on
+// a slow batch and a single queue slot, the second pending request fits
+// and the third sheds with ErrQueueFull.
+func TestQueueCapBoundary(t *testing.T) {
+	r := &fakeRunner{delay: 300 * time.Millisecond}
+	b := newTestBatcher(t, Config{Window: time.Millisecond, MaxBatch: 1, Workers: 1, QueueCap: 1}, r)
+
+	results := make(chan error, 2)
+	submit := func(v float32) {
+		_, err := b.Submit(context.Background(), tens(v))
+		results <- err
+	}
+	go submit(1) // picked up by the worker, wedged in the slow runner
+	time.Sleep(50 * time.Millisecond)
+	go submit(2) // fills the single queue slot
+	time.Sleep(50 * time.Millisecond)
+
+	if _, err := b.Submit(context.Background(), tens(3)); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("third concurrent request returned %v, want ErrQueueFull", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("queued request %d failed: %v", i, err)
+		}
+	}
+}

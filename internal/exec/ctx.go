@@ -3,6 +3,8 @@ package exec
 import (
 	"context"
 	"time"
+
+	"bitflow/internal/faultinject"
 )
 
 // Observer receives one per-layer timing observation from a graph
@@ -145,6 +147,7 @@ func (c *Ctx) Err() error {
 func (c *Ctx) ParallelFor(total int, body func(start, end int)) {
 	threads := c.Budget()
 	if threads <= 1 || total <= 1 {
+		_ = faultinject.ExecChunk.Fire(c.Context(), "", 0)
 		body(0, total)
 		return
 	}
@@ -154,11 +157,12 @@ func (c *Ctx) ParallelFor(total int, body func(start, end int)) {
 	chunk := (total + threads - 1) / threads
 	nchunks := (total + chunk - 1) / chunk
 	if nchunks <= 1 {
+		_ = faultinject.ExecChunk.Fire(c.Context(), "", 0)
 		body(0, total)
 		return
 	}
 	//bitflow:alloc-ok one job header + completion channel per parallel region, needed for claim-loop state and panic propagation
-	j := &job{body: body, total: total, chunk: chunk, fin: make(chan struct{})}
+	j := &job{body: body, total: total, chunk: chunk, fctx: c.Context(), fin: make(chan struct{})}
 	j.pending.Store(int64(nchunks))
 	if c.spawn || c.pool == nil {
 		for i := 1; i < nchunks; i++ {

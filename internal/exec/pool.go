@@ -23,9 +23,12 @@
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"bitflow/internal/faultinject"
 )
 
 // Pool is a persistent set of worker goroutines that execute ParallelFor
@@ -162,6 +165,7 @@ type job struct {
 	body    func(start, end int)
 	total   int
 	chunk   int
+	fctx    context.Context // dispatching Ctx's cancellation context, for fault hooks
 	next    atomic.Int64
 	pending atomic.Int64
 	fin     chan struct{}
@@ -192,7 +196,10 @@ func (j *job) run() {
 
 // exec runs one chunk, capturing a panic instead of letting it escape on
 // a goroutine nobody joins. The first panic value wins; ParallelFor
-// re-raises it on the caller's goroutine after the job drains.
+// re-raises it on the caller's goroutine after the job drains. The
+// exec.chunk fault point fires inside the recover scope, so an injected
+// worker crash takes exactly the capture-and-re-raise path a real one
+// does.
 func (j *job) exec(s, e int) {
 	defer func() {
 		if v := recover(); v != nil {
@@ -203,5 +210,6 @@ func (j *job) exec(s, e int) {
 			j.mu.Unlock()
 		}
 	}()
+	_ = faultinject.ExecChunk.Fire(j.fctx, "", s)
 	j.body(s, e)
 }

@@ -1,0 +1,455 @@
+// Package conformance is the closed-loop verification harness for the
+// serving stack's fault tolerance: it drives a seeded, randomized request
+// workload through a live server while a seed-derived fault script
+// (internal/faultinject) injects panics, stalls, and errors into serve,
+// batch, exec, and graph — then a model-based oracle checks the stack's
+// conservation invariants, which must hold after EVERY schedule:
+//
+//   - gate tokens conserved: once quiet, zero held, zero waiting, every
+//     replica back in the pool (capacity never leaks across panics);
+//   - every request completed exactly once: each client call returns one
+//     response and the server drains cleanly (no wedged futures);
+//   - metrics conservation: requests == ok + bad + shed + panicked as
+//     observed by the clients themselves;
+//   - recovery: after the script is disarmed, a full-width probe wave
+//     must succeed — replicas are restored, not merely limping;
+//   - correctness: every 200 carries logits bit-identical to a serial
+//     reference inference of the same input.
+//
+// A violation fails with the seed and the full fault script, so any
+// failure replays exactly. The suite runs under -race in verify.sh.
+package conformance
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"bitflow/internal/faultinject"
+	"bitflow/internal/graph"
+	"bitflow/internal/resilience"
+	"bitflow/internal/sched"
+	"bitflow/internal/serve"
+	"bitflow/internal/tensor"
+)
+
+// Config parameterizes one conformance run. The zero value is not usable;
+// start from Defaults(seed).
+type Config struct {
+	// Seed drives both the fault script (when Script is nil) and the
+	// workload's request mix. Same seed, same schedule.
+	Seed int64
+	// Script overrides the seed-generated fault script — how the named
+	// scenario tests pin one exact fault.
+	Script *faultinject.Script
+	// Batching selects the micro-batched serving path.
+	Batching bool
+	// Replicas / MaxQueue / RequestTimeout mirror serve.Config.
+	Replicas       int
+	MaxQueue       int
+	RequestTimeout time.Duration
+	// Clients is the number of concurrent request loops; Requests is the
+	// total request count they share.
+	Clients  int
+	Requests int
+}
+
+// Defaults returns a small-but-concurrent workload configuration for the
+// given seed: enough clients to keep the queue contended, few enough
+// requests that a -race run stays in CI budget.
+func Defaults(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		Replicas:       2,
+		MaxQueue:       4,
+		RequestTimeout: 1 * time.Second,
+		Clients:        4,
+		Requests:       48,
+	}
+}
+
+// reqKind is one workload request shape.
+type reqKind int
+
+const (
+	kindGood       reqKind = iota // valid input, expects 200 absent faults
+	kindShortInput                // wrong-length data, expects 400
+	kindBadJSON                   // malformed body, expects 400
+)
+
+// Outcome records what one client observed for one request.
+type Outcome struct {
+	Kind   reqKind
+	Input  int // index into the reference input set (kindGood only)
+	Status int
+	Code   string // machine-readable error code for non-200s
+	Logits []float32
+	Err    error // transport-level failure (always a violation)
+}
+
+// Result is one run's full evidence: the schedule that ran, what every
+// client saw, the server's terminal state, and the oracle's verdict.
+type Result struct {
+	Config   Config
+	Script   *faultinject.Script
+	Outcomes []Outcome
+	Probes   []Outcome
+	Snapshot resilience.Snapshot
+	State    serve.Introspection
+	DrainErr error
+
+	Violations []string
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// Report renders the verdict with everything needed to replay it.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conformance: seed=%d batching=%v replicas=%d: %d violations\n",
+		r.Config.Seed, r.Config.Batching, r.Config.Replicas, len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
+	}
+	fmt.Fprintf(&b, "  %s\n", strings.ReplaceAll(r.Script.String(), "\n", "\n  "))
+	fmt.Fprintf(&b, "  replay: BITFLOW_CONFORMANCE_SEED=%d go test -race -count=1 -run 'TestConformanceRotatingSeed' ./internal/faultinject/conformance\n",
+		r.Config.Seed)
+	return b.String()
+}
+
+func (r *Result) violatef(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// buildNetwork constructs the fixed conformance model: the same small
+// conv→pool→dense topology the serve tests pin, deterministic weights.
+func buildNetwork() (*graph.Network, error) {
+	return graph.NewBuilder("conformance", 8, 8, 64, sched.Detect()).
+		Conv3x3("c1", 64).
+		Pool("p1", 2, 2, 2).
+		Dense("d1", 4).
+		Build(graph.RandomWeights{Seed: 130})
+}
+
+const numInputs = 8
+
+// makeInputs derives the reference input set from the seed.
+func makeInputs(seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	inputs := make([][]float32, numInputs)
+	for i := range inputs {
+		data := make([]float32, 8*8*64)
+		for j := range data {
+			data[j] = rng.Float32()*2 - 1
+		}
+		inputs[i] = data
+	}
+	return inputs
+}
+
+// Run executes one full conformance schedule and returns the oracle's
+// verdict. It owns the process-global fault hooks for its duration:
+// callers must not run two conformance schedules concurrently (the tests
+// in this package are serial for exactly that reason).
+func Run(cfg Config) (*Result, error) {
+	net, err := buildNetwork()
+	if err != nil {
+		return nil, fmt.Errorf("conformance: building network: %w", err)
+	}
+	inputs := makeInputs(cfg.Seed)
+
+	// Serial reference logits, computed on a private clone before any
+	// fault hook is armed. Every 200 the workload sees must match these
+	// bit for bit.
+	ref := net.Clone()
+	refLogits := make([][]float32, len(inputs))
+	for i, data := range inputs {
+		x := tensor.FromSlice(8, 8, 64, data)
+		out, err := ref.InferContext(context.Background(), x)
+		if err != nil {
+			return nil, fmt.Errorf("conformance: reference inference %d: %w", i, err)
+		}
+		refLogits[i] = out
+	}
+
+	script := cfg.Script
+	if script == nil {
+		script = faultinject.Generate(cfg.Seed)
+	}
+	res := &Result{Config: cfg, Script: script}
+
+	srv := serve.NewWithConfig(net, serve.Config{
+		Replicas:       cfg.Replicas,
+		MaxQueue:       cfg.MaxQueue,
+		RequestTimeout: cfg.RequestTimeout,
+		Batching:       cfg.Batching,
+	})
+	if !srv.Ready() {
+		return nil, fmt.Errorf("conformance: server failed warm-up")
+	}
+
+	l, err := net0listen()
+	if err != nil {
+		return nil, err
+	}
+	baseURL := "http://" + l.Addr().String()
+	sctx, stop := context.WithCancel(context.Background())
+	drained := make(chan error, 1)
+	go func() { //bitflow:go-ok test-harness server lifecycle, joined via the drained channel before Run returns
+		drained <- srv.ServeListener(sctx, l, serve.HTTPConfig{ShutdownGrace: 10 * time.Second})
+	}()
+	// drainErr is idempotent: the happy path consumes the listener's exit
+	// status in phase 4, and the deferred cleanup reuses the cached value
+	// instead of blocking on a second receive.
+	var drainOnce sync.Once
+	var drainErr error
+	drain := func() error {
+		drainOnce.Do(func() {
+			stop()
+			drainErr = <-drained
+		})
+		return drainErr
+	}
+	defer func() {
+		_ = drain()
+		faultinject.Reset()
+	}()
+
+	httpc := &http.Client{Timeout: 20 * time.Second}
+
+	// Arm the schedule only now: warm-up and the reference pass above ran
+	// on a quiet system.
+	if err := script.Install(); err != nil {
+		return nil, fmt.Errorf("conformance: installing script: %w", err)
+	}
+
+	// Phase 1: the faulted workload. Each client derives its own request
+	// mix from the seed, so the multiset of requests is seed-deterministic
+	// even though the interleaving is the scheduler's.
+	outcomes := make([]Outcome, cfg.Requests)
+	var wg sync.WaitGroup //bitflow:go-ok test-harness client fan-out; these are HTTP clients, not compute, so exec.Ctx does not apply
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(client int) { //bitflow:go-ok test-harness request loop, joined via wg.Wait below
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*1000 + int64(client)))
+			for i := client; i < cfg.Requests; i += cfg.Clients {
+				outcomes[i] = doRequest(httpc, baseURL, pickKind(rng), rng.Intn(numInputs), inputs)
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.Outcomes = outcomes
+
+	// Phase 2: disarm and probe. With hooks gone, a full-width wave of
+	// concurrent good requests must succeed — this is the "replicas
+	// restored after panic" invariant made operational.
+	faultinject.Reset()
+	probes := make([]Outcome, cfg.Replicas)
+	for p := 0; p < len(probes); p++ {
+		wg.Add(1)
+		go func(p int) { //bitflow:go-ok test-harness probe wave, joined via wg.Wait below
+			defer wg.Done()
+			probes[p] = doRequest(httpc, baseURL, kindGood, p%numInputs, inputs)
+		}(p)
+	}
+	wg.Wait()
+	res.Probes = probes
+
+	// Phase 3: quiesce and let the oracle read the terminal state. The
+	// gate releases its token in a defer that races the response write,
+	// so conservation is polled with a deadline rather than sampled once.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res.State = srv.Introspect()
+		quiet := res.State.GateHeld == 0 && res.State.GateWaiting == 0 &&
+			(cfg.Batching || res.State.PoolAvailable == cfg.Replicas)
+		if quiet || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	res.Snapshot = srv.Metrics().Snapshot()
+
+	// Phase 4: drain. A wedged worker or an un-completed future shows up
+	// here as a shutdown-grace timeout.
+	res.DrainErr = drain()
+
+	oracle(res, refLogits)
+	return res, nil
+}
+
+func net0listen() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+func pickKind(rng *rand.Rand) reqKind {
+	switch n := rng.Intn(10); {
+	case n < 8:
+		return kindGood
+	case n == 8:
+		return kindShortInput
+	default:
+		return kindBadJSON
+	}
+}
+
+// doRequest issues one workload request and decodes what the server said.
+func doRequest(httpc *http.Client, baseURL string, kind reqKind, input int, inputs [][]float32) Outcome {
+	o := Outcome{Kind: kind, Input: input}
+	var body []byte
+	switch kind {
+	case kindGood:
+		body, _ = json.Marshal(serve.InferRequest{Data: inputs[input]})
+	case kindShortInput:
+		body, _ = json.Marshal(serve.InferRequest{Data: inputs[input][:7]})
+	case kindBadJSON:
+		body = []byte(`{"data": [1, 2,`)
+	}
+	resp, err := httpc.Post(baseURL+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	defer resp.Body.Close()
+	o.Status = resp.StatusCode
+	if resp.StatusCode == http.StatusOK {
+		var out serve.InferResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			o.Err = fmt.Errorf("decoding 200 body: %w", err)
+			return o
+		}
+		o.Logits = out.Logits
+		return o
+	}
+	var eresp serve.ErrorResponse
+	raw, _ := io.ReadAll(resp.Body)
+	if err := json.Unmarshal(raw, &eresp); err != nil {
+		o.Err = fmt.Errorf("non-JSON error body %q: %w", raw, err)
+		return o
+	}
+	o.Code = eresp.Code
+	return o
+}
+
+// oracle checks every invariant against the evidence in res. It appends
+// violations rather than failing fast: a broken schedule usually trips
+// several related laws, and seeing all of them localizes the bug.
+func oracle(res *Result, refLogits [][]float32) {
+	all := append(append([]Outcome{}, res.Outcomes...), res.Probes...)
+
+	// Law 1: exactly-once completion, client edition — every request got
+	// one well-formed response.
+	byStatus := map[int]int64{}
+	byCode := map[string]int64{}
+	for i, o := range all {
+		if o.Err != nil {
+			res.violatef("request %d: transport error (lost or malformed response): %v", i, o.Err)
+			continue
+		}
+		byStatus[o.Status]++
+		if o.Status != http.StatusOK {
+			byCode[o.Code]++
+		}
+		switch o.Status {
+		case http.StatusOK, http.StatusBadRequest, http.StatusTooManyRequests,
+			http.StatusServiceUnavailable, http.StatusInternalServerError:
+		default:
+			res.violatef("request %d: status %d outside the API taxonomy", i, o.Status)
+		}
+	}
+
+	// Law 2: correctness — a 200 is a claim of a finished, uncorrupted
+	// forward pass, so its logits must equal the serial reference bit for
+	// bit, no matter what faults ran around it.
+	for i, o := range all {
+		if o.Err != nil || o.Status != http.StatusOK {
+			continue
+		}
+		want := refLogits[o.Input]
+		if len(o.Logits) != len(want) {
+			res.violatef("request %d: 200 with %d logits, reference has %d", i, len(o.Logits), len(want))
+			continue
+		}
+		for j := range want {
+			if o.Logits[j] != want[j] {
+				res.violatef("request %d: logits[%d] = %v, serial reference %v (input %d)",
+					i, j, o.Logits[j], want[j], o.Input)
+				break
+			}
+		}
+	}
+
+	// Law 3: malformed requests are never swallowed by a fault schedule.
+	for i, o := range all {
+		if o.Err == nil && o.Kind != kindGood && o.Status == http.StatusOK {
+			res.violatef("request %d: malformed request (kind %d) returned 200", i, o.Kind)
+		}
+	}
+
+	// Law 4: recovery — with hooks disarmed, the probe wave must succeed
+	// at full replica width.
+	for p, o := range res.Probes {
+		if o.Err != nil || o.Status != http.StatusOK {
+			res.violatef("post-fault probe %d: status %d code %q err %v — replicas not restored",
+				p, o.Status, o.Code, o.Err)
+		}
+	}
+
+	// Law 5: gate-token and replica conservation once quiet.
+	st := res.State
+	if st.GateHeld != 0 {
+		res.violatef("gate conservation: %d tokens still held after quiesce", st.GateHeld)
+	}
+	if st.GateWaiting != 0 {
+		res.violatef("gate conservation: %d waiters still queued after quiesce", st.GateWaiting)
+	}
+	if !st.Batching && st.PoolAvailable != st.Replicas {
+		res.violatef("replica conservation: %d/%d replicas in the pool after quiesce",
+			st.PoolAvailable, st.Replicas)
+	}
+
+	// Law 6: metrics conservation — the server's ledger must agree with
+	// what the clients collectively observed.
+	snap := res.Snapshot
+	clientTotal := int64(0)
+	for _, n := range byStatus {
+		clientTotal += n
+	}
+	if snap.Requests != clientTotal {
+		res.violatef("metrics conservation: requests=%d but clients observed %d responses",
+			snap.Requests, clientTotal)
+	}
+	if snap.OK != byStatus[http.StatusOK] {
+		res.violatef("metrics conservation: ok=%d but clients observed %d 200s",
+			snap.OK, byStatus[http.StatusOK])
+	}
+	if snap.BadRequests != byStatus[http.StatusBadRequest] {
+		res.violatef("metrics conservation: bad_requests=%d but clients observed %d 400s",
+			snap.BadRequests, byStatus[http.StatusBadRequest])
+	}
+	wantShed := byStatus[http.StatusTooManyRequests] + byCode["deadline"]
+	if snap.Shed != wantShed {
+		res.violatef("metrics conservation: shed=%d but clients observed %d (429s + deadline 503s)",
+			snap.Shed, wantShed)
+	}
+	if snap.QueueDepth != 0 || snap.InFlight != 0 {
+		res.violatef("metrics conservation: queue_depth=%d in_flight=%d after quiesce",
+			snap.QueueDepth, snap.InFlight)
+	}
+
+	// Law 7: clean drain — shutdown inside the grace window proves no
+	// future was left pending and no worker wedged.
+	if res.DrainErr != nil {
+		res.violatef("drain: ServeListener returned %v — a request or worker never completed", res.DrainErr)
+	}
+}

@@ -1,0 +1,131 @@
+package conformance
+
+// The named fault scenarios from the serving stack's hardening PRs, each
+// pinned with a hand-written script so the exact fault replays forever.
+// These are the regression net for the recovery code itself: revert the
+// panic re-clone, the mid-inference deadline 503, or the batcher's
+// exactly-once completion, and the matching test here fails.
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"bitflow/internal/faultinject"
+)
+
+// TestScenarioPanicRecloneRestoresCapacity injects kernel panics
+// mid-inference on the unbatched path. The handler must convert each to a
+// 500 "panic", re-clone the replica, and leave pool capacity intact — the
+// probe wave and the gate/replica conservation laws fail if the re-clone
+// (or the recover itself) is reverted.
+func TestScenarioPanicRecloneRestoresCapacity(t *testing.T) {
+	cfg := Defaults(101)
+	cfg.Script = &faultinject.Script{Rules: []faultinject.Rule{{
+		Point:  "graph.layer",
+		Action: faultinject.Panic,
+		Index:  1, // mid-inference: after c1 has already run
+		On:     []int64{1, 3, 5},
+	}}}
+	res := mustRun(t, cfg)
+	if n := countCode(res.Outcomes, "panic"); n == 0 {
+		t.Error("no request observed a 500 panic; injection did not land")
+	}
+	if res.Snapshot.PanicsRecovered == 0 {
+		t.Error("panics_recovered is 0 after injected panics")
+	}
+}
+
+// TestScenarioDeadline503MidInference parks a forward pass at layer 1
+// far past the request deadline. The layer-boundary context checks must
+// cut the pass and surface a 503 "deadline"; if mid-inference
+// cancellation is reverted the stalled requests come back 200 (late) and
+// the deadline count here drops to zero.
+func TestScenarioDeadline503MidInference(t *testing.T) {
+	cfg := Defaults(102)
+	cfg.RequestTimeout = 200 * time.Millisecond
+	cfg.Script = &faultinject.Script{Rules: []faultinject.Rule{{
+		Point:  "graph.layer",
+		Action: faultinject.Stall,
+		Index:  1,
+		On:     []int64{1, 2},
+		For:    5 * time.Second, // far beyond the deadline: only ctx can end it
+	}}}
+	res := mustRun(t, cfg)
+	if n := countCode(res.Outcomes, "deadline"); n == 0 {
+		t.Error("no request observed a 503 deadline; mid-inference cancellation is not working")
+	}
+}
+
+// TestScenarioBatchExactlyOnce crashes batch dispatches while concurrent
+// requests race the coalescing window. Every seat in a crashed batch must
+// complete exactly once with a 500; a double-complete panics the future
+// (transport error → Law 1) and a dropped seat wedges the drain (Law 7).
+func TestScenarioBatchExactlyOnce(t *testing.T) {
+	cfg := Defaults(103)
+	cfg.Batching = true
+	cfg.Script = &faultinject.Script{Rules: []faultinject.Rule{
+		{Point: "batch.dispatch", Action: faultinject.Panic, Index: faultinject.AnyIndex, On: []int64{1, 3}},
+		{Point: "batch.dispatch", Action: faultinject.Fail, Index: faultinject.AnyIndex, On: []int64{5}},
+	}}
+	res := mustRun(t, cfg)
+	if n := countStatus(res.Outcomes, http.StatusInternalServerError); n == 0 {
+		t.Error("no request observed the batch panic; injection did not land")
+	}
+	if res.Snapshot.PanicsRecovered == 0 {
+		t.Error("panics_recovered is 0 after injected batch panics")
+	}
+}
+
+// TestScenarioRunnerCloneFailure makes the recovery path itself fail:
+// first a panic corrupts a runner/replica, then the replacement factory
+// panics too. Both modes must fall back to keeping the old instance and
+// continue serving — the probe wave fails if the fallback leaks the slot.
+func TestScenarioRunnerCloneFailure(t *testing.T) {
+	t.Run("batched", func(t *testing.T) {
+		cfg := Defaults(104)
+		cfg.Batching = true
+		cfg.Script = &faultinject.Script{Rules: []faultinject.Rule{
+			{Point: "batch.dispatch", Action: faultinject.Panic, Index: faultinject.AnyIndex, On: []int64{1}},
+			{Point: "batch.clone", Action: faultinject.Panic, Index: faultinject.AnyIndex, Limit: 1},
+		}}
+		res := mustRun(t, cfg)
+		if res.Snapshot.PanicsRecovered == 0 {
+			t.Error("panics_recovered is 0; the dispatch panic did not land")
+		}
+	})
+	t.Run("unbatched", func(t *testing.T) {
+		cfg := Defaults(105)
+		cfg.Script = &faultinject.Script{Rules: []faultinject.Rule{
+			{Point: "graph.layer", Action: faultinject.Panic, Index: 1, On: []int64{1}},
+			{Point: "serve.clone", Action: faultinject.Panic, Index: faultinject.AnyIndex, Limit: 1},
+		}}
+		res := mustRun(t, cfg)
+		if n := countCode(res.Outcomes, "panic"); n == 0 {
+			t.Error("no request observed the 500; the replica panic did not land")
+		}
+	})
+}
+
+// TestScenarioQueueFullBurst wedges the only replica and floods the
+// server past its one queue slot: the overflow must shed as 429
+// "queue_full" while the admission ledger stays conserved.
+func TestScenarioQueueFullBurst(t *testing.T) {
+	cfg := Defaults(106)
+	cfg.Replicas = 1
+	cfg.MaxQueue = 1
+	cfg.Clients = 8
+	cfg.Requests = 16
+	cfg.RequestTimeout = 2 * time.Second
+	cfg.Script = &faultinject.Script{Rules: []faultinject.Rule{{
+		Point:  "graph.layer",
+		Action: faultinject.Sleep,
+		Index:  0,
+		On:     []int64{1, 2, 3},
+		For:    300 * time.Millisecond,
+	}}}
+	res := mustRun(t, cfg)
+	if n := countCode(res.Outcomes, "queue_full"); n == 0 {
+		t.Error("no request observed a 429 queue_full; the burst never saturated admission")
+	}
+}

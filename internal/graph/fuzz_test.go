@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+
+	"bitflow/internal/kernels"
+	"bitflow/internal/sched"
+	"bitflow/internal/workload"
+)
+
+// fuzzTopology decodes an arbitrary byte string into a small valid
+// network: the first bytes pick the input dims, the rest append layers
+// (conv3x3 / pool) until a stop byte or the budget runs out, and a final
+// dense classifier closes the graph. The decoder is total — every byte
+// string yields SOME topology — so the fuzzer explores structure, not
+// parser crashes.
+func fuzzTopology(seed uint64, shape []byte) (*Builder, int, int, int) {
+	at := 0
+	next := func() byte {
+		if at >= len(shape) {
+			return 0
+		}
+		b := shape[at]
+		at++
+		return b
+	}
+	inH := 4 + int(next()%5)*2 // 4..12, even
+	inW := 4 + int(next()%5)*2
+	inC := 64 << (next() % 2) // 64 or 128: one or two packed words
+	b := NewBuilder("fuzz", inH, inW, inC, feat())
+
+	h, w := inH, inW
+	convs := 0
+	for layers := 0; layers < 4; layers++ {
+		op := next()
+		switch op % 3 {
+		case 0:
+			k := 64 << (op >> 2 & 1)
+			b.Conv3x3(fuzzName("c", layers), k)
+			convs++
+		case 1:
+			if h < 4 || w < 4 {
+				continue
+			}
+			b.Pool(fuzzName("p", layers), 2, 2, 2)
+			h, w = h/2, w/2
+		default:
+			layers = 4
+		}
+	}
+	units := 2 + int(next()%9) // 2..10 classes
+	b.Dense("out", units)
+	return b, inH, inW, inC
+}
+
+func fuzzName(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}
+
+// FuzzSerializeRoundTrip pins the serialization contract: for an
+// arbitrary small topology, save→load→Infer must be bit-identical to the
+// original network's logits — including when the model is loaded under a
+// narrower kernel tier than it was built with. The seed corpus runs as
+// part of every plain `go test ./internal/graph`.
+func FuzzSerializeRoundTrip(f *testing.F) {
+	f.Add(uint64(1), []byte{0})
+	f.Add(uint64(2), []byte{1, 2, 3})
+	f.Add(uint64(3), []byte{7, 0, 9, 4})
+	f.Add(uint64(130), []byte{2, 2, 1, 0, 1, 8})
+	f.Add(uint64(9), []byte{255, 128, 64, 32, 16, 8, 4})
+	f.Add(uint64(42), []byte{4, 4, 1, 0, 0, 1, 0, 200})
+	f.Fuzz(func(t *testing.T, seed uint64, shape []byte) {
+		builder, inH, inW, inC := fuzzTopology(seed, shape)
+		net, err := builder.Build(RandomWeights{Seed: seed})
+		if err != nil {
+			t.Skipf("topology rejected by Build (fine for a fuzzer): %v", err)
+		}
+
+		x := workload.RandTensor(workload.NewRNG(seed+1), inH, inW, inC)
+		want := net.Infer(x)
+
+		var buf bytes.Buffer
+		wrote, err := net.Save(&buf)
+		if err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		if wrote != int64(buf.Len()) {
+			t.Fatalf("Save reported %d bytes, wrote %d", wrote, buf.Len())
+		}
+
+		// Load twice: once under the native tier, once forced down to the
+		// 64-bit scalar tier — packed weights are tier-independent, so both
+		// must reproduce the original logits exactly.
+		tiers := map[string]sched.Features{
+			"native": feat(),
+			"narrow": feat().WithMaxWidth(kernels.W64),
+		}
+		for name, ft := range tiers {
+			loaded, err := Load(bytes.NewReader(buf.Bytes()), ft)
+			if err != nil {
+				t.Fatalf("%s: Load of a just-saved model: %v", name, err)
+			}
+			if len(loaded.Layers()) != len(net.Layers()) {
+				t.Fatalf("%s: loaded %d layers, saved %d", name, len(loaded.Layers()), len(net.Layers()))
+			}
+			got := loaded.Infer(x)
+			if len(got) != len(want) {
+				t.Fatalf("%s: loaded net emits %d logits, original %d", name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: logit %d: loaded %v, original %v (seed=%d shape=%v)",
+						name, i, got[i], want[i], seed, shape)
+				}
+			}
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"bitflow/internal/bitpack"
 	"bitflow/internal/core"
 	"bitflow/internal/exec"
+	"bitflow/internal/faultinject"
 	"bitflow/internal/tensor"
 )
 
@@ -155,6 +156,9 @@ func (n *Network) InferBatch(xs []*tensor.Tensor) ([][]float32, error) {
 	}
 	for li := range n.layers {
 		if err := ec.Err(); err != nil {
+			return nil, err
+		}
+		if err := faultinject.GraphLayer.Fire(ec.Context(), n.layers[li].name(), li); err != nil {
 			return nil, err
 		}
 		n.forwardLayerBatch(li, lanes, ec)

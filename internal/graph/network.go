@@ -8,6 +8,7 @@ import (
 	"bitflow/internal/bitpack"
 	"bitflow/internal/core"
 	"bitflow/internal/exec"
+	"bitflow/internal/faultinject"
 	"bitflow/internal/sched"
 	"bitflow/internal/tensor"
 )
@@ -174,8 +175,11 @@ func (n *Network) InferContext(ctx context.Context, x *tensor.Tensor) ([]float32
 	if obs != nil {
 		obs("input", "pack", time.Since(t0))
 	}
-	for _, l := range n.layers {
+	for i, l := range n.layers {
 		if err := ec.Err(); err != nil {
+			return nil, err
+		}
+		if err := faultinject.GraphLayer.Fire(ec.Context(), l.name(), i); err != nil {
 			return nil, err
 		}
 		if obs != nil {

@@ -32,6 +32,7 @@ import (
 
 	"bitflow/internal/batch"
 	"bitflow/internal/exec"
+	"bitflow/internal/faultinject"
 	"bitflow/internal/graph"
 	"bitflow/internal/resilience"
 	"bitflow/internal/tensor"
@@ -374,6 +375,35 @@ func (s *Server) Metrics() *resilience.Metrics { return s.metrics }
 // server actually runs with, for startup banners and diagnostics.
 func (s *Server) EffectiveConfig() Config { return s.cfg }
 
+// Introspection is a point-in-time view of the server's conservation
+// state, read by the fault-injection conformance oracle: on a quiet
+// server, held and waiting must be zero and every replica must be back in
+// the pool — regardless of what fault schedule just ran.
+type Introspection struct {
+	GateHeld      int64
+	GateWaiting   int64
+	GateCapacity  int
+	GateMaxQueue  int
+	PoolAvailable int
+	Replicas      int
+	Batching      bool
+}
+
+// Introspect snapshots the admission gate and replica pool. The fields
+// are sampled sequentially, so only a quiesced server yields a consistent
+// picture — exactly the oracle's use case.
+func (s *Server) Introspect() Introspection {
+	return Introspection{
+		GateHeld:      s.gate.Held(),
+		GateWaiting:   s.gate.Waiting(),
+		GateCapacity:  s.gate.Capacity(),
+		GateMaxQueue:  s.gate.MaxQueue(),
+		PoolAvailable: len(s.pool),
+		Replicas:      s.cfg.Replicas,
+		Batching:      s.batcher != nil,
+	}
+}
+
 // Ready reports whether warm-up succeeded and the server is not draining.
 func (s *Server) Ready() bool { return s.ready.Load() }
 
@@ -496,6 +526,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	// mode a slot is a seat in a forming batch rather than a replica.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	// serve.admit only delays (Sleep/Stall widen queue-pressure races); any
+	// resulting deadline surfaces through gate.Acquire below.
+	_ = faultinject.ServeAdmit.Fire(ctx, "", 0)
 	if err := s.gate.Acquire(ctx); err != nil {
 		s.metrics.Shed.Add(1)
 		switch {
@@ -540,7 +573,10 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		// fall back to returning the original replica — degraded beats
 		// leaking the slot.
 		s.metrics.PanicsRecovered.Add(1)
-		if cloneErr := resilience.Safe(func() { restore = b.clone() }); cloneErr != nil {
+		if cloneErr := resilience.Safe(func() {
+			_ = faultinject.ServeClone.Fire(nil, "", 0)
+			restore = b.clone()
+		}); cloneErr != nil {
 			restore = b
 		}
 		writeError(w, http.StatusInternalServerError, "panic",

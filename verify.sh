@@ -17,10 +17,10 @@ go vet ./...
 echo "== bitflow-vet ./... (repo invariants: rawgo threadsint hotalloc panicpath)"
 go run ./cmd/bitflow-vet ./...
 
-echo "== go test $* ./..."
-go test "$@" ./...
+echo "== go test -shuffle=on $* ./..."
+go test -shuffle=on "$@" ./...
 
-echo "== go test -race -shuffle=on ./internal/exec/... ./internal/serve/... ./internal/resilience/... ./internal/batch/... ./internal/core/..."
-go test -race -shuffle=on ./internal/exec/... ./internal/serve/... ./internal/resilience/... ./internal/batch/... ./internal/core/...
+echo "== go test -race -shuffle=on ./internal/exec/... ./internal/serve/... ./internal/resilience/... ./internal/batch/... ./internal/core/... ./internal/faultinject/..."
+go test -race -shuffle=on ./internal/exec/... ./internal/serve/... ./internal/resilience/... ./internal/batch/... ./internal/core/... ./internal/faultinject/...
 
 echo "verify: OK"
