@@ -10,11 +10,13 @@ import (
 // request can reach must be caught by resilience.Safe so the replica is
 // re-cloned instead of the process dying.
 //
-// Zone roots (internal/serve, internal/batch): every function with an
-// http.ResponseWriter parameter (an HTTP handler), every exported
-// Batcher method, and the target of every go statement in the zone (a
-// worker goroutine's panic kills the process — there is no recovering
-// caller). From those roots the call graph is walked, pruning edges
+// Zone roots (internal/serve, internal/batch, internal/registry): every
+// function with an http.ResponseWriter parameter (an HTTP handler),
+// every exported Batcher method, every exported Model/Registry method
+// (the swap protocol runs under SIGHUP with no recovering caller), and
+// the target of every go statement in the zone (a worker goroutine's
+// panic kills the process). From those roots the call graph is walked,
+// pruning edges
 // guarded by resilience.Safe and call sites annotated
 // //bitflow:panic-ok <reason> (the annotation asserts the call cannot
 // panic, e.g. because its input was validated just above). Any lexical
@@ -40,7 +42,9 @@ func runPanicPath(p *Program) []Finding {
 func panicZone(p *Program) []Finding {
 	g := p.graph()
 	inZone := func(pkg *Package) bool {
-		return pathSuffix(pkg.Path, "internal/serve") || pathSuffix(pkg.Path, "internal/batch")
+		return pathSuffix(pkg.Path, "internal/serve") ||
+			pathSuffix(pkg.Path, "internal/batch") ||
+			pathSuffix(pkg.Path, "internal/registry")
 	}
 
 	var roots []*funcNode
@@ -48,7 +52,7 @@ func panicZone(p *Program) []Finding {
 		if !inZone(n.pkg) {
 			continue
 		}
-		if n.decl != nil && (handlerFunc(n) || exportedBatcherMethod(n)) {
+		if n.decl != nil && (handlerFunc(n) || exportedBatcherMethod(n) || exportedRegistryMethod(n)) {
 			roots = append(roots, n)
 		}
 	}
@@ -114,6 +118,18 @@ func handlerFunc(n *funcNode) bool {
 // on batch.Batcher — the public surface callers drive directly.
 func exportedBatcherMethod(n *funcNode) bool {
 	return n.recvTypeName() == "Batcher" && n.obj != nil && n.obj.Exported()
+}
+
+// exportedRegistryMethod reports whether the node is an exported method
+// on registry.Model or registry.Registry. The swap protocol is driven
+// from a SIGHUP goroutine as well as HTTP handlers, so a panic escaping
+// it has no recovering caller.
+func exportedRegistryMethod(n *funcNode) bool {
+	if !pathSuffix(n.pkg.Path, "internal/registry") {
+		return false
+	}
+	recv := n.recvTypeName()
+	return (recv == "Model" || recv == "Registry") && n.obj != nil && n.obj.Exported()
 }
 
 // goTargets resolves the functions and literals launched by go

@@ -99,6 +99,36 @@ func TestConformanceRotatingSeed(t *testing.T) {
 	}
 }
 
+// TestConformanceMultiModelReload sweeps generated fault schedules over
+// a two-model server that hot-swaps the default model's version twice
+// while the workload runs. Every conservation law is checked per model;
+// the reload ledger law accepts swaps and fault-forced rollbacks alike,
+// as long as the serving version matches the ledger afterwards.
+func TestConformanceMultiModelReload(t *testing.T) {
+	seeds := []int64{1, 7}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		for _, batching := range []bool{false, true} {
+			t.Run(fmt.Sprintf("seed=%d/batching=%v", seed, batching), func(t *testing.T) {
+				cfg := Defaults(seed)
+				cfg.Batching = batching
+				cfg.Models = 2
+				cfg.Reloads = 2
+				cfg.Requests = 64
+				res := mustRun(t, cfg)
+				if len(res.Reloads) != 2 {
+					t.Fatalf("reload ledger has %d entries, want 2", len(res.Reloads))
+				}
+				if len(res.ModelSnapshots) != 2 {
+					t.Fatalf("per-model snapshots: %d, want 2", len(res.ModelSnapshots))
+				}
+			})
+		}
+	}
+}
+
 // TestConformanceNoFaults is the control: a nil script must sail through
 // with every good request returning 200.
 func TestConformanceNoFaults(t *testing.T) {

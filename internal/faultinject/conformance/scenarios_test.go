@@ -107,6 +107,63 @@ func TestScenarioRunnerCloneFailure(t *testing.T) {
 	})
 }
 
+// TestScenarioRegistrySwapPanicRollsBack crashes the swap protocol
+// right after the atomic pointer flip, under live traffic. The reload
+// must roll back with a structured reason, the old version must keep
+// serving bit-exact logits (Law 2 on every post-rollback 200), and the
+// capacity laws must hold — a leaked candidate replica or a half-flipped
+// pointer fails Laws 5/8.
+func TestScenarioRegistrySwapPanicRollsBack(t *testing.T) {
+	cfg := Defaults(107)
+	cfg.Reloads = 2
+	cfg.Script = &faultinject.Script{Rules: []faultinject.Rule{{
+		Point:  "registry.swap",
+		Action: faultinject.Panic,
+		Index:  2, // post-flip: requests may already be pinning the candidate
+		On:     []int64{1},
+	}}}
+	res := mustRun(t, cfg)
+	if len(res.Reloads) != 2 {
+		t.Fatalf("reload ledger has %d entries, want 2", len(res.Reloads))
+	}
+	first := res.Reloads[0].Status
+	if first == nil || first.Outcome != "rolled_back" || first.Stage != "swap" {
+		t.Fatalf("first reload %+v, want a swap-stage rollback", first)
+	}
+	second := res.Reloads[1].Status
+	if second == nil || second.Outcome != "swapped" {
+		t.Fatalf("second reload %+v, want a clean swap after the rollback", second)
+	}
+	if res.State.Version != "r2" {
+		t.Fatalf("serving version %q, want r2", res.State.Version)
+	}
+}
+
+// TestScenarioRegistryVerifyFailRollsBack fails candidate verification
+// outright: the pointer must never move, the attempt must report a
+// verify-stage rollback, and the original version keeps serving.
+func TestScenarioRegistryVerifyFailRollsBack(t *testing.T) {
+	cfg := Defaults(108)
+	cfg.Reloads = 1
+	cfg.Script = &faultinject.Script{Rules: []faultinject.Rule{{
+		Point:  "registry.swap",
+		Action: faultinject.Fail,
+		Index:  0, // verification stage, before the flip
+		On:     []int64{1},
+	}}}
+	res := mustRun(t, cfg)
+	if len(res.Reloads) != 1 {
+		t.Fatalf("reload ledger has %d entries, want 1", len(res.Reloads))
+	}
+	st := res.Reloads[0].Status
+	if st == nil || st.Outcome != "rolled_back" || st.Stage != "verify" {
+		t.Fatalf("reload %+v, want a verify-stage rollback", st)
+	}
+	if res.State.Version != "boot" {
+		t.Fatalf("serving version %q changed by a rolled-back reload", res.State.Version)
+	}
+}
+
 // TestScenarioQueueFullBurst wedges the only replica and floods the
 // server past its one queue slot: the overflow must shed as 429
 // "queue_full" while the admission ledger stays conserved.

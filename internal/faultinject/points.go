@@ -40,9 +40,25 @@ var (
 	// crash (captured and re-raised on the caller); Sleep/Stall model a
 	// slow or stalled worker holding one chunk of a dispatch.
 	ExecChunk = newPoint("exec.chunk", Panic, Sleep, Stall)
+
+	// RegistryLoad fires inside registry.LoadArtifact, after the file
+	// opens but before decode — entirely off the request hot path. Fail
+	// simulates a corrupt/unreadable artifact (the load returns a typed
+	// error and the old version keeps serving); Panic simulates a loader
+	// crash, absorbed by the Safe scope around artifact verification;
+	// Sleep models a slow disk.
+	RegistryLoad = newPoint("registry.load", Panic, Fail, Sleep)
+
+	// RegistrySwap fires at the three stages of a model swap (Index 0:
+	// pre-verification, 1: pre-flip, 2: post-flip/pre-drain), inside the
+	// Safe scope that guards the reload protocol. Panic or Fail at any
+	// stage must roll the model back to the previous version with zero
+	// half-state; Sleep/Stall widen the window in which requests race the
+	// pointer flip.
+	RegistrySwap = newPoint("registry.swap", Panic, Fail, Sleep, Stall)
 )
 
-var registry = []*Point{ServeAdmit, ServeClone, BatchDispatch, BatchClone, GraphLayer, ExecChunk}
+var registry = []*Point{ServeAdmit, ServeClone, BatchDispatch, BatchClone, GraphLayer, ExecChunk, RegistryLoad, RegistrySwap}
 
 // Points returns the full registry in request order.
 func Points() []*Point { return append([]*Point(nil), registry...) }

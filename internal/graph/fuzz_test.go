@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"bitflow/internal/kernels"
@@ -56,6 +57,55 @@ func fuzzTopology(seed uint64, shape []byte) (*Builder, int, int, int) {
 
 func fuzzName(prefix string, i int) string {
 	return prefix + string(rune('0'+i))
+}
+
+// FuzzLoadArbitraryBytes pins the loader's untrusted-input contract:
+// feeding ANY byte string to Load must return a network or a typed
+// error (*FormatError / *ChecksumError) — never panic, never allocate
+// unboundedly. The seed corpus includes a valid artifact plus targeted
+// corruptions of its header, specs, and footer.
+func FuzzLoadArbitraryBytes(f *testing.F) {
+	valid := func() []byte {
+		b, _, _, _ := fuzzTopology(1, []byte{0})
+		net, err := b.Build(RandomWeights{Seed: 1})
+		if err != nil {
+			f.Fatalf("building seed network: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := net.Save(&buf); err != nil {
+			f.Fatalf("saving seed network: %v", err)
+		}
+		return buf.Bytes()
+	}()
+	f.Add([]byte{})
+	f.Add([]byte("BFLW"))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-16]) // legacy: no footer
+	f.Add(valid[:len(valid)/2])  // truncated payload
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)/3] ^= 0x40
+	f.Add(corrupt)
+	header := append([]byte(nil), valid[:64]...)
+	f.Add(header)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, info, err := LoadWithInfo(bytes.NewReader(data), feat())
+		if err != nil {
+			var fe *FormatError
+			var ce *ChecksumError
+			if !errors.As(err, &fe) && !errors.As(err, &ce) {
+				t.Fatalf("untyped load error %T: %v", err, err)
+			}
+			return
+		}
+		if net == nil || info == nil {
+			t.Fatal("nil network/info without error")
+		}
+		// A network the loader accepted must actually run.
+		x := workload.RandTensor(workload.NewRNG(7), net.InH, net.InW, net.InC)
+		if _, ierr := net.InferChecked(x); ierr != nil {
+			t.Fatalf("loaded network cannot infer: %v", ierr)
+		}
+	})
 }
 
 // FuzzSerializeRoundTrip pins the serialization contract: for an

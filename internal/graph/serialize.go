@@ -2,8 +2,11 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc64"
 	"io"
 
 	"bitflow/internal/bitpack"
@@ -43,6 +46,61 @@ const modelVersion = 1
 // maxSaneLen guards length fields when reading untrusted files.
 const maxSaneLen = 1 << 30
 
+// Integrity footer ("BFCK", version 1): appended after the payload by
+// Save, it carries the CRC64-ECMA checksum of every preceding byte so a
+// flipped bit anywhere in the artifact is caught before the model serves
+// a single request. Files written before the footer existed still load —
+// LoadInfo.Checksummed reports false so operators can flag them.
+//
+//	footer: magic "BFCK" | u32 footer version | u64 crc64(payload)
+var checksumMagic = [4]byte{'B', 'F', 'C', 'K'}
+
+const (
+	checksumFooterVersion = 1
+	checksumFooterLen     = 16
+)
+
+// crcTable is the CRC64-ECMA table shared by Save and Load.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// maxModelBytes bounds how much Load will read — an artifact claiming to
+// be larger than this is rejected rather than buffered.
+const maxModelBytes = 1 << 31
+
+// ChecksumError reports a model file whose payload does not match its
+// integrity footer — the artifact was corrupted (or truncated and
+// re-padded) after Save wrote it.
+type ChecksumError struct {
+	Want uint64 // checksum stored in the footer
+	Got  uint64 // checksum computed over the payload
+}
+
+func (e *ChecksumError) Error() string {
+	return fmt.Sprintf("graph: model checksum mismatch: footer says %016x, payload hashes to %016x", e.Want, e.Got)
+}
+
+// FormatError reports a model file that could not be decoded: truncated,
+// structurally invalid, or claiming implausible sizes. It wraps the
+// underlying cause (io.ErrUnexpectedEOF for truncation).
+type FormatError struct {
+	Err error
+}
+
+func (e *FormatError) Error() string { return fmt.Sprintf("graph: invalid model file: %v", e.Err) }
+func (e *FormatError) Unwrap() error { return e.Err }
+
+// LoadInfo describes the integrity metadata observed while loading.
+type LoadInfo struct {
+	// Checksum is the CRC64-ECMA of the payload, computed during load
+	// regardless of whether the file carried a footer.
+	Checksum uint64
+	// Checksummed reports whether the file carried an integrity footer
+	// (and therefore that Checksum was verified against it).
+	Checksummed bool
+	// Bytes is the total file size consumed, footer included.
+	Bytes int64
+}
+
 type countingWriter struct {
 	w io.Writer
 	n int64
@@ -51,6 +109,19 @@ type countingWriter struct {
 func (cw *countingWriter) Write(p []byte) (int, error) {
 	n, err := cw.w.Write(p)
 	cw.n += int64(n)
+	return n, err
+}
+
+// crcWriter tees payload bytes into the running CRC64 on their way out,
+// so Save can stamp the footer without buffering the whole artifact.
+type crcWriter struct {
+	w   io.Writer
+	crc uint64
+}
+
+func (hw *crcWriter) Write(p []byte) (int, error) {
+	n, err := hw.w.Write(p)
+	hw.crc = crc64.Update(hw.crc, crcTable, p[:n])
 	return n, err
 }
 
@@ -92,11 +163,13 @@ func readStr(r io.Reader) (string, error) {
 	return string(buf), nil
 }
 
-// Save serializes the network's architecture and packed weights. The
-// returned count is the number of bytes written.
+// Save serializes the network's architecture and packed weights,
+// followed by a CRC64 integrity footer over the payload. The returned
+// count is the number of bytes written, footer included.
 func (n *Network) Save(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: w}
-	bw := bufio.NewWriter(cw)
+	hw := &crcWriter{w: cw}
+	bw := bufio.NewWriter(hw)
 	if _, err := bw.Write(modelMagic[:]); err != nil {
 		return cw.n, err
 	}
@@ -200,6 +273,17 @@ func (n *Network) Save(w io.Writer) (int64, error) {
 		}
 	}
 	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	// Footer goes straight to the counting writer: the stored checksum
+	// covers the payload only, never itself.
+	if _, err := cw.Write(checksumMagic[:]); err != nil {
+		return cw.n, err
+	}
+	if err := writeU32(cw, checksumFooterVersion); err != nil {
+		return cw.n, err
+	}
+	if err := writeU64(cw, hw.crc); err != nil {
 		return cw.n, err
 	}
 	return cw.n, nil
@@ -312,6 +396,9 @@ func (ps *packedSource) blob(want int) ([]uint64, error) {
 	if count != uint64(want) {
 		return nil, fmt.Errorf("graph: weight blob has %d words, architecture wants %d", count, want)
 	}
+	if want < 0 || want > maxSaneLen/8 {
+		return nil, fmt.Errorf("graph: weight blob of %d words implausible", want)
+	}
 	words := make([]uint64, want)
 	if err := binary.Read(ps.r, binary.LittleEndian, words); err != nil {
 		return nil, fmt.Errorf("graph: reading weight blob: %w", err)
@@ -348,6 +435,9 @@ func (ps *packedSource) floatConv(name string, shape sched.ConvShape) (*core.Flo
 	if count != uint64(want) {
 		return nil, fmt.Errorf("graph: float weight blob has %d values, architecture wants %d", count, want)
 	}
+	if want < 0 || want > maxSaneLen/4 {
+		return nil, fmt.Errorf("graph: float weight blob of %d values implausible", want)
+	}
 	data := make([]float32, want)
 	if err := binary.Read(ps.r, binary.LittleEndian, data); err != nil {
 		return nil, fmt.Errorf("graph: reading float weight blob: %w", err)
@@ -366,7 +456,78 @@ func (ps *packedSource) batchNorm(name string, channels int) (*BNParams, error) 
 // given features (the kernel tiers are re-selected for the loading
 // machine; the packed weights are tier-independent).
 func Load(r io.Reader, feat sched.Features) (*Network, error) {
-	br := bufio.NewReader(r)
+	n, _, err := LoadWithInfo(r, feat)
+	return n, err
+}
+
+// LoadWithInfo is Load plus the integrity metadata: the payload CRC64
+// and whether the file carried (and passed) a checksum footer. Corrupt
+// or truncated files return *ChecksumError / *FormatError — never a
+// panic — so callers can roll back to a previous artifact with a
+// structured reason. Files written before the footer existed load with
+// Checksummed=false.
+func LoadWithInfo(r io.Reader, feat sched.Features) (*Network, *LoadInfo, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxModelBytes+1))
+	if err != nil {
+		return nil, nil, &FormatError{Err: err}
+	}
+	if len(data) > maxModelBytes {
+		return nil, nil, &FormatError{Err: fmt.Errorf("model exceeds %d bytes", int64(maxModelBytes))}
+	}
+	info := &LoadInfo{Bytes: int64(len(data))}
+	payload := data
+	if stored, ok := parseChecksumFooter(data); ok {
+		payload = data[:len(data)-checksumFooterLen]
+		info.Checksummed = true
+		info.Checksum = crc64.Checksum(payload, crcTable)
+		if info.Checksum != stored {
+			return nil, nil, &ChecksumError{Want: stored, Got: info.Checksum}
+		}
+	} else {
+		info.Checksum = crc64.Checksum(payload, crcTable)
+	}
+	br := bytes.NewReader(payload)
+	n, err := decodeModel(br, feat)
+	if err != nil {
+		var fe *FormatError
+		if errors.As(err, &fe) {
+			return nil, nil, err
+		}
+		return nil, nil, &FormatError{Err: err}
+	}
+	if br.Len() != 0 {
+		return nil, nil, &FormatError{Err: fmt.Errorf("%d trailing bytes after model payload", br.Len())}
+	}
+	return n, info, nil
+}
+
+// parseChecksumFooter reports whether data ends in a well-formed
+// integrity footer, returning the stored checksum when it does.
+func parseChecksumFooter(data []byte) (uint64, bool) {
+	if len(data) < checksumFooterLen {
+		return 0, false
+	}
+	f := data[len(data)-checksumFooterLen:]
+	if !bytes.Equal(f[:4], checksumMagic[:]) {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint32(f[4:8]) != checksumFooterVersion {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(f[8:]), true
+}
+
+// Decode-time sanity bounds for untrusted headers: generous for any real
+// architecture, small enough that a hostile header cannot make the
+// loader allocate unbounded memory before hitting a length check.
+const (
+	maxSaneSpatial = 1 << 13 // per input dimension
+	maxSaneChans   = 1 << 20 // channels / filters / units
+	maxSaneKernel  = 1 << 10 // kernel extent, stride, pad
+)
+
+// decodeModel parses one serialized payload.
+func decodeModel(br *bytes.Reader, feat sched.Features) (*Network, error) {
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("graph: reading model header: %w", err)
@@ -391,6 +552,10 @@ func Load(r io.Reader, feat sched.Features) (*Network, error) {
 			return nil, err
 		}
 	}
+	if dims[0] < 1 || dims[0] > maxSaneSpatial || dims[1] < 1 || dims[1] > maxSaneSpatial ||
+		dims[2] < 1 || dims[2] > maxSaneChans {
+		return nil, fmt.Errorf("graph: input dims %dx%dx%d implausible", dims[0], dims[1], dims[2])
+	}
 	specCount := int(dims[3])
 	if specCount > maxSaneLen/64 {
 		return nil, fmt.Errorf("graph: spec count %d implausible", specCount)
@@ -409,6 +574,18 @@ func Load(r io.Reader, feat sched.Features) (*Network, error) {
 		for j := range p {
 			if p[j], err = readU32(br); err != nil {
 				return nil, fmt.Errorf("graph: reading spec %d: %w", i, err)
+			}
+		}
+		if p[0] > maxSaneChans || p[5] > maxSaneChans ||
+			p[1] > maxSaneKernel || p[2] > maxSaneKernel || p[3] > maxSaneKernel || p[4] > maxSaneKernel {
+			return nil, fmt.Errorf("graph: spec %d parameters %v implausible", i, p)
+		}
+		switch specKind(kindB) {
+		case specConv, specFloatConv, specPool:
+			// A convolving/pooling spec needs a positive window and stride
+			// or the output geometry below divides by zero.
+			if p[1] < 1 || p[2] < 1 || p[3] < 1 {
+				return nil, fmt.Errorf("graph: spec %d window %dx%d stride %d invalid", i, p[1], p[2], p[3])
 			}
 		}
 		switch specKind(kindB) {

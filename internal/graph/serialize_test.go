@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -111,10 +112,113 @@ func TestLoadRejectsWrongVersion(t *testing.T) {
 	if _, err := net.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	data := buf.Bytes()
+	// Strip the integrity footer so the corruption reaches the version
+	// check (with the footer on, the checksum catches it first).
+	data := buf.Bytes()[:buf.Len()-16]
 	data[4] = 99 // bump version field
 	if _, err := Load(bytes.NewReader(data), feat()); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Errorf("expected version error, got %v", err)
+	}
+}
+
+func TestLoadChecksumCatchesCorruption(t *testing.T) {
+	net, err := TinyVGG(feat(), RandomWeights{Seed: 38})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the middle of the packed weights: structurally the
+	// file still decodes, so only the checksum can catch it.
+	data := append([]byte(nil), buf.Bytes()...)
+	data[buf.Len()/2] ^= 0x10
+	_, _, err = LoadWithInfo(bytes.NewReader(data), feat())
+	var ce *ChecksumError
+	if !errors.As(err, &ce) {
+		t.Fatalf("expected *ChecksumError, got %v", err)
+	}
+	if ce.Want == ce.Got {
+		t.Errorf("checksum error with equal want/got: %+v", ce)
+	}
+}
+
+func TestLoadLegacyFileWithoutFooter(t *testing.T) {
+	net, err := TinyVGG(feat(), RandomWeights{Seed: 39})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	legacy := buf.Bytes()[:buf.Len()-16] // drop the footer: a pre-checksum artifact
+	loaded, info, err := LoadWithInfo(bytes.NewReader(legacy), feat())
+	if err != nil {
+		t.Fatalf("legacy file must still load: %v", err)
+	}
+	if info.Checksummed {
+		t.Error("legacy file reported as checksummed")
+	}
+	if info.Checksum == 0 {
+		t.Error("legacy load did not compute a payload checksum")
+	}
+	x := workload.RandTensor(workload.NewRNG(40), 32, 32, 3)
+	want, got := net.Infer(x), loaded.Infer(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("logit %d differs on legacy load", i)
+		}
+	}
+}
+
+func TestLoadWithInfoReportsVerifiedChecksum(t *testing.T) {
+	net, err := TinyVGG(feat(), RandomWeights{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	wrote, err := net.Save(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := LoadWithInfo(bytes.NewReader(buf.Bytes()), feat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Checksummed {
+		t.Error("fresh Save output not recognized as checksummed")
+	}
+	if info.Bytes != wrote {
+		t.Errorf("info.Bytes = %d, Save wrote %d", info.Bytes, wrote)
+	}
+}
+
+func TestLoadTruncationIsTypedError(t *testing.T) {
+	net, err := TinyVGG(feat(), RandomWeights{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation point must yield a typed *FormatError (truncating
+	// into the footer turns the file into an unchecksummed payload with a
+	// ragged tail — still a format error, never a panic).
+	for _, cut := range []int{1, 5, 30, 200, buf.Len() / 2, buf.Len() - 17, buf.Len() - 8} {
+		data := buf.Bytes()[:cut]
+		_, _, err := LoadWithInfo(bytes.NewReader(data), feat())
+		if err == nil {
+			t.Errorf("cut at %d: expected error", cut)
+			continue
+		}
+		var fe *FormatError
+		var ce *ChecksumError
+		if !errors.As(err, &fe) && !errors.As(err, &ce) {
+			t.Errorf("cut at %d: untyped error %T: %v", cut, err, err)
+		}
 	}
 }
 
@@ -142,7 +246,9 @@ func TestLoadRejectsCorruptSpecKind(t *testing.T) {
 	if _, err := net.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	data := buf.Bytes()
+	// Strip the footer so the decoder (not the checksum) sees the bad
+	// spec kind.
+	data := buf.Bytes()[:buf.Len()-16]
 	// The first spec's kind byte sits right after the fixed header:
 	// magic(4) + version(4) + name(4+len) + 4×u32.
 	off := 4 + 4 + 4 + len(net.Name) + 16

@@ -96,7 +96,7 @@ func TestBatchedServerMatchesSequential(t *testing.T) {
 // /statusz must not grow a batch section.
 func TestBatchingDisabledByDefault(t *testing.T) {
 	s := NewWithConfig(testNetwork(t), Config{})
-	if s.batcher != nil {
+	if s.Introspect().Batching {
 		t.Fatal("batcher constructed without opting in")
 	}
 	ts := httptest.NewServer(s.Handler())
@@ -144,7 +144,7 @@ func TestBatchedPanicIsolatedAndRecovered(t *testing.T) {
 			t.Fatalf("post-panic request %d: status %d", i, resp.StatusCode)
 		}
 	}
-	if got := s.metrics.PanicsRecovered.Load(); got != 1 {
+	if got := s.Metrics().PanicsRecovered.Load(); got != 1 {
 		t.Errorf("panics recovered = %d, want 1", got)
 	}
 }
@@ -208,7 +208,7 @@ func TestBatchedGracefulDrain(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not exit after drain")
 	}
-	if s.metrics.BatchFlushDrain.Load() == 0 && s.metrics.BatchFlushWindow.Load() == 0 {
+	if s.Metrics().BatchFlushDrain.Load() == 0 && s.Metrics().BatchFlushWindow.Load() == 0 {
 		t.Error("no flush recorded for the drained batch")
 	}
 }

@@ -82,7 +82,7 @@ func TestChunkPanicIsStructured500AndCapacityRestored(t *testing.T) {
 			t.Fatalf("post-panic logit %d drifted", c)
 		}
 	}
-	if got := len(s.pool); got != replicas {
+	if got := s.Introspect().PoolAvailable; got != replicas {
 		t.Fatalf("replica pool has %d after chunk panic, want %d", got, replicas)
 	}
 	if got := s.Metrics().PanicsRecovered.Load(); got != 1 {

@@ -90,8 +90,8 @@ func TestGoldenStatuszFieldSet(t *testing.T) {
 		ts := httptest.NewServer(New(testNetwork(t), 1).Handler())
 		defer ts.Close()
 		m := getStatuszRaw(t, ts.URL)
-		want := []string{"exec", "max_queue", "metrics", "model", "ready", "replicas",
-			"replicas_available", "request_timeout", "uptime", "uptime_seconds"}
+		want := []string{"exec", "max_queue", "metrics", "model", "models", "ready", "replicas",
+			"replicas_available", "request_timeout", "uptime", "uptime_seconds", "version"}
 		if got := sortedKeys(m); fmt.Sprint(got) != fmt.Sprint(want) {
 			t.Errorf("top-level keys:\n got %v\nwant %v", got, want)
 		}
@@ -111,8 +111,8 @@ func TestGoldenStatuszFieldSet(t *testing.T) {
 			t.Fatalf("warm request: status %d", resp.StatusCode)
 		}
 		m := getStatuszRaw(t, ts.URL)
-		want := []string{"batch", "exec", "max_queue", "metrics", "model", "ready", "replicas",
-			"replicas_available", "request_timeout", "uptime", "uptime_seconds"}
+		want := []string{"batch", "exec", "max_queue", "metrics", "model", "models", "ready", "replicas",
+			"replicas_available", "request_timeout", "uptime", "uptime_seconds", "version"}
 		if got := sortedKeys(m); fmt.Sprint(got) != fmt.Sprint(want) {
 			t.Errorf("top-level keys:\n got %v\nwant %v", got, want)
 		}

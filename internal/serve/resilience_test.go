@@ -178,7 +178,7 @@ func TestPanicRecoveryRestoresCapacity(t *testing.T) {
 
 	// Full capacity must survive: every replica slot back in the pool,
 	// and `replicas` simultaneous good requests all succeed.
-	if got := len(s.pool); got != replicas {
+	if got := s.Introspect().PoolAvailable; got != replicas {
 		t.Fatalf("pool has %d replicas after panics, want %d", got, replicas)
 	}
 	st := getStatusz(t, ts.URL)
@@ -228,7 +228,7 @@ func TestSaturationSheds429(t *testing.T) {
 	<-bb.entered // request A now holds the only replica
 
 	go post() // request B joins the queue
-	waitCond(t, func() bool { return s.gate.Waiting() == 1 })
+	waitCond(t, func() bool { return s.Introspect().GateWaiting == 1 })
 
 	// Request C: queue full → immediate 429 + Retry-After.
 	body, _ := json.Marshal(InferRequest{Data: x.Data})

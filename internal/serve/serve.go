@@ -1,20 +1,29 @@
-// Package serve exposes a compiled BitFlow network over HTTP — the
+// Package serve exposes compiled BitFlow networks over HTTP — the
 // "deployment in practical applications" the paper's stand-alone engine
-// targets (§IV). The server owns a pool of network clones (Infer is not
-// concurrency-safe on one instance) behind an admission gate, and serves:
+// targets (§IV). The server hosts one or more named models, each a pool
+// of network clones (Infer is not concurrency-safe on one instance)
+// behind its own admission gate, and serves:
 //
 //	GET  /healthz  → 200 "ok" (liveness alias, kept for compatibility)
 //	GET  /livez    → 200 while the process is up
-//	GET  /readyz   → 200 after warm-up inference succeeds; 503 while draining
-//	GET  /statusz  → JSON counters: requests, shed, panics, queue, p50/p99
-//	GET  /model    → model metadata (name, input dims, classes, sizes)
+//	GET  /readyz   → JSON per-model readiness; 503 while any model is
+//	                 unready or the server drains
+//	GET  /statusz  → JSON counters: requests, shed, panics, queue,
+//	                 p50/p99, plus a per-model section with reload state
+//	GET  /model    → default model's metadata (name, dims, classes, sizes)
 //	POST /infer    → {"data":[...]} (NHWC floats) → logits + argmax
+//	GET  /v1/models                 → list of served models
+//	GET  /v1/models/{model}         → one model's metadata
+//	POST /v1/models/{model}/infer   → /infer, routed by name
 //
-// Robustness contract: every /infer request either completes within its
+// Robustness contract: every infer request either completes within its
 // deadline or fails fast with a typed error — the wait queue is bounded
 // (429 when full, 503 when the deadline expires while queued, both with
 // Retry-After), a panicking replica is recovered and re-cloned so
 // capacity never shrinks, and shutdown drains in-flight requests.
+// Models hot-reload atomically (see ReloadModel): a request pins one
+// version for its lifetime, and a failed reload rolls back without the
+// old version ever missing a beat.
 package serve
 
 import (
@@ -26,7 +35,6 @@ import (
 	"net"
 	"net/http"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -34,12 +42,13 @@ import (
 	"bitflow/internal/exec"
 	"bitflow/internal/faultinject"
 	"bitflow/internal/graph"
+	"bitflow/internal/registry"
 	"bitflow/internal/resilience"
 	"bitflow/internal/tensor"
 )
 
-// Config tunes the serving resilience layer. The zero value of any field
-// selects a sensible default.
+// Config tunes one model's serving resilience layer. The zero value of
+// any field selects a sensible default.
 type Config struct {
 	// Replicas is the number of network clones (concurrent inferences).
 	// Minimum 1.
@@ -169,24 +178,19 @@ func (r backendRunner) InferBatch(xs []*tensor.Tensor) ([][]float32, error) {
 	return outs, nil
 }
 
-// Server wraps a network with an HTTP handler plus the resilience layer
-// (admission gate, panic isolation, counters).
+// Server hosts named models behind one HTTP handler. Each model owns
+// its admission gate, metrics, and versioned replica sets (hot reload);
+// the legacy single-model endpoints route to the default model.
 type Server struct {
-	meta    Meta
-	cfg     Config
-	pool    chan backend
-	gate    *resilience.Gate
-	metrics *resilience.Metrics
-	ready   atomic.Bool
+	reg     *registry.Registry
+	byName  map[string]*model
+	order   []*model
+	def     *model
 	started time.Time
 
-	// exec is the resolved base execution context shared by all replicas
-	// (nil for test backends that don't take one).
-	exec *exec.Ctx
-
-	// batcher is non-nil iff cfg.Batching: /infer then routes through it
-	// instead of the replica pool, and the workers own the backends.
-	batcher *batch.Batcher
+	// draining flips once shutdown begins: /readyz fails and new infer
+	// requests are refused while in-flight ones finish.
+	draining atomic.Bool
 }
 
 // Meta is the /model response.
@@ -218,26 +222,49 @@ type InferResponse struct {
 
 // ErrorResponse is the body of every non-2xx JSON reply, so clients can
 // switch on a stable machine-readable code rather than parse messages.
-// Codes: bad_request, queue_full, deadline, panic, not_ready.
+// Codes: bad_request, queue_full, deadline, panic, not_ready,
+// unknown_model.
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Code  string `json:"code"`
 }
 
 // Statusz is the /statusz response: identity, capacity, and the failure
-// counters that make robustness measurable.
+// counters that make robustness measurable. The top-level fields
+// describe the default model (back-compat with single-model clients);
+// Models carries the per-model sections.
 type Statusz struct {
-	Model             string              `json:"model"`
-	Uptime            string              `json:"uptime"`
-	UptimeSeconds     float64             `json:"uptime_seconds"`
-	Ready             bool                `json:"ready"`
-	Replicas          int                 `json:"replicas"`
-	ReplicasAvailable int                 `json:"replicas_available"`
-	MaxQueue          int                 `json:"max_queue"`
-	RequestTimeout    string              `json:"request_timeout"`
-	Batch             *BatchStatus        `json:"batch,omitempty"`
-	Exec              *ExecStatus         `json:"exec,omitempty"`
-	Metrics           resilience.Snapshot `json:"metrics"`
+	Model             string                 `json:"model"`
+	Version           string                 `json:"version"`
+	Uptime            string                 `json:"uptime"`
+	UptimeSeconds     float64                `json:"uptime_seconds"`
+	Ready             bool                   `json:"ready"`
+	Replicas          int                    `json:"replicas"`
+	ReplicasAvailable int                    `json:"replicas_available"`
+	MaxQueue          int                    `json:"max_queue"`
+	RequestTimeout    string                 `json:"request_timeout"`
+	Batch             *BatchStatus           `json:"batch,omitempty"`
+	Exec              *ExecStatus            `json:"exec,omitempty"`
+	Metrics           resilience.Snapshot    `json:"metrics"`
+	Models            map[string]ModelStatus `json:"models"`
+}
+
+// ModelStatus is one model's /statusz section: capacity, readiness, and
+// the reload ledger (version, swap/rollback counts, last attempt).
+type ModelStatus struct {
+	Name              string                 `json:"name"`
+	Version           string                 `json:"version"`
+	Ready             bool                   `json:"ready"`
+	Default           bool                   `json:"default,omitempty"`
+	Replicas          int                    `json:"replicas"`
+	ReplicasAvailable int                    `json:"replicas_available"`
+	MaxQueue          int                    `json:"max_queue"`
+	RequestTimeout    string                 `json:"request_timeout"`
+	Swaps             int64                  `json:"swaps"`
+	Rollbacks         int64                  `json:"rollbacks"`
+	LastReload        *registry.ReloadStatus `json:"last_reload,omitempty"`
+	Batch             *BatchStatus           `json:"batch,omitempty"`
+	Metrics           resilience.Snapshot    `json:"metrics"`
 }
 
 // ExecStatus is the /statusz execution-layer section: the shared pool's
@@ -263,123 +290,79 @@ type BatchStatus struct {
 	FlushDrain         int64   `json:"flush_drain"`
 }
 
+// ReadyStatus is the /readyz response: overall readiness plus each
+// model's state. A model mid-reload stays ready — it serves its old
+// version until the swap's atomic flip.
+type ReadyStatus struct {
+	Ready    bool                  `json:"ready"`
+	Draining bool                  `json:"draining,omitempty"`
+	Models   map[string]ModelReady `json:"models"`
+}
+
+// ModelReady is one model's readiness line in /readyz.
+type ModelReady struct {
+	Ready   bool   `json:"ready"`
+	Version string `json:"version"`
+}
+
+// ModelInfo is one entry of the GET /v1/models listing.
+type ModelInfo struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+	Ready   bool   `json:"ready"`
+	Default bool   `json:"default,omitempty"`
+}
+
 // New builds a server around net with `replicas` clones for concurrent
 // requests (minimum 1) and default admission-control settings.
 func New(net *graph.Network, replicas int) *Server {
 	return NewWithConfig(net, Config{Replicas: replicas})
 }
 
-// NewWithConfig builds a server with explicit resilience settings and
-// runs the warm-up inference that arms /readyz.
+// NewWithConfig builds a single-model server with explicit resilience
+// settings and runs the warm-up inference that arms /readyz.
 func NewWithConfig(net *graph.Network, cfg Config) *Server {
-	ms := net.ModelSize()
-	meta := Meta{
-		Name:   net.Name,
-		InputH: net.InH, InputW: net.InW, InputC: net.InC,
-		Classes:         net.Classes,
-		Layers:          len(net.Layers()),
-		Weights:         ms.Weights,
-		PackedBytes:     ms.BinarizedBytes,
-		CompressionRate: ms.Compression(),
-		Replicas:        cfg.withDefaults().Replicas,
-	}
-	return newServer(meta, netBackend{net: net}, cfg)
+	return newServer(metaFromNetwork(net), netBackend{net: net}, cfg)
 }
 
-// newServer wires the pool, gate and metrics around the first backend,
+// newServer wires a single-model server around the first backend,
 // cloning it out to the configured replica count. Split from
 // NewWithConfig so tests can inject faulty backends.
 func newServer(meta Meta, first backend, cfg Config) *Server {
-	cfg = cfg.withDefaults()
-	meta.Replicas = cfg.Replicas
-	// In batch mode a "slot" is a seat in a forming batch, not a whole
-	// replica, so admission must allow Replicas×MaxBatch concurrent
-	// requests or batches could never fill.
-	gateCap := cfg.Replicas
-	if cfg.Batching {
-		gateCap = cfg.Replicas * cfg.MaxBatch
-	}
 	s := &Server{
-		meta:    meta,
-		cfg:     cfg,
-		pool:    make(chan backend, cfg.Replicas),
-		gate:    resilience.NewGate(gateCap, cfg.MaxQueue),
-		metrics: resilience.NewMetrics(1024),
+		reg:     registry.New(),
+		byName:  map[string]*model{},
 		started: time.Now(),
 	}
-	// Attach the shared execution context (pool + budget + layer-stats
-	// observer) before warm-up so the first backend — and every clone
-	// taken from it below — dispatches onto the same pool.
-	if ea, ok := first.(execAttacher); ok {
-		s.exec = ea.attachExec(cfg.Exec, s.metrics.ObserveLayer)
-	} else {
-		s.exec = cfg.Exec
+	m, err := s.addModel(meta.Name, "boot", meta, first, cfg)
+	if err != nil {
+		// addModel only fails on duplicate names or a batcher factory
+		// error, neither reachable for the first model with the in-tree
+		// factory; a future failure must not yield a half-built server.
+		panic(fmt.Sprintf("serve: building server: %v", err))
 	}
-	s.warmup(first)
-	if cfg.Batching {
-		// The batch workers own the backends: worker i gets the i-th
-		// replica (lane pools pre-grown to MaxBatch), and a worker whose
-		// runner panicked gets a fresh clone from the factory.
-		var mu sync.Mutex
-		handedFirst := false
-		b, err := batch.New(batch.Config{
-			Window:   cfg.BatchWindow,
-			MaxBatch: cfg.MaxBatch,
-			Workers:  cfg.Replicas,
-			QueueCap: gateCap + cfg.MaxQueue,
-			Metrics:  s.metrics,
-			NewRunner: func() (batch.Runner, error) {
-				mu.Lock()
-				defer mu.Unlock()
-				bk := first
-				if handedFirst {
-					bk = first.clone()
-				}
-				handedFirst = true
-				if bp, ok := bk.(batchPreparer); ok {
-					bp.prepareBatch(cfg.MaxBatch)
-				}
-				return backendRunner{b: bk}, nil
-			},
-		})
-		if err != nil {
-			// The factory above cannot fail; a future one that can must
-			// not yield a half-built server.
-			panic(fmt.Sprintf("serve: building batcher: %v", err))
-		}
-		s.batcher = b
-		return s
-	}
-	s.pool <- first
-	for i := 1; i < cfg.Replicas; i++ {
-		s.pool <- first.clone()
-	}
+	m.isDefault = true
+	s.def = m
 	return s
 }
 
-// warmup runs one inference on a zero input and arms /readyz only if it
-// completes without error or panic — a server that cannot infer should
-// never receive traffic.
-func (s *Server) warmup(b backend) {
-	x := tensor.New(s.meta.InputH, s.meta.InputW, s.meta.InputC)
-	var inferErr error
-	panicErr := resilience.Safe(func() { _, inferErr = b.infer(context.Background(), x) })
-	s.ready.Store(panicErr == nil && inferErr == nil)
-}
+// Metrics exposes the default model's failure counters (shared with
+// /statusz) so embedding code — tests, the bench harness — can assert on
+// them. Use ModelMetrics for a named model.
+func (s *Server) Metrics() *resilience.Metrics { return s.def.rm.Metrics() }
 
-// Metrics exposes the failure counters (shared with /statusz) so embedding
-// code — tests, the bench harness — can assert on them.
-func (s *Server) Metrics() *resilience.Metrics { return s.metrics }
+// EffectiveConfig reports the default model's configuration after
+// defaulting — what it actually runs with, for startup banners and
+// diagnostics.
+func (s *Server) EffectiveConfig() Config { return s.def.cfg }
 
-// EffectiveConfig reports the configuration after defaulting — what the
-// server actually runs with, for startup banners and diagnostics.
-func (s *Server) EffectiveConfig() Config { return s.cfg }
-
-// Introspection is a point-in-time view of the server's conservation
+// Introspection is a point-in-time view of one model's conservation
 // state, read by the fault-injection conformance oracle: on a quiet
 // server, held and waiting must be zero and every replica must be back in
 // the pool — regardless of what fault schedule just ran.
 type Introspection struct {
+	Model         string
+	Version       string
 	GateHeld      int64
 	GateWaiting   int64
 	GateCapacity  int
@@ -389,23 +372,17 @@ type Introspection struct {
 	Batching      bool
 }
 
-// Introspect snapshots the admission gate and replica pool. The fields
-// are sampled sequentially, so only a quiesced server yields a consistent
-// picture — exactly the oracle's use case.
+// Introspect snapshots the default model's admission gate and replica
+// pool. The fields are sampled sequentially, so only a quiesced server
+// yields a consistent picture — exactly the oracle's use case.
 func (s *Server) Introspect() Introspection {
-	return Introspection{
-		GateHeld:      s.gate.Held(),
-		GateWaiting:   s.gate.Waiting(),
-		GateCapacity:  s.gate.Capacity(),
-		GateMaxQueue:  s.gate.MaxQueue(),
-		PoolAvailable: len(s.pool),
-		Replicas:      s.cfg.Replicas,
-		Batching:      s.batcher != nil,
-	}
+	in, _ := s.IntrospectModel("")
+	return in
 }
 
-// Ready reports whether warm-up succeeded and the server is not draining.
-func (s *Server) Ready() bool { return s.ready.Load() }
+// Ready reports whether the default model warmed up and the server is
+// not draining.
+func (s *Server) Ready() bool { return s.def.ready.Load() && !s.draining.Load() }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler {
@@ -416,6 +393,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/model", s.handleModel)
 	mux.HandleFunc("/infer", s.handleInfer)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/models/{model}", s.handleModelInfo)
+	mux.HandleFunc("/v1/models/{model}/infer", s.handleModelInfer)
 	return mux
 }
 
@@ -425,46 +405,50 @@ func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if !s.ready.Load() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "not ready")
-		return
+	st := ReadyStatus{Ready: true, Draining: s.draining.Load(), Models: map[string]ModelReady{}}
+	for _, m := range s.order {
+		ready := m.ready.Load()
+		st.Models[m.name] = ModelReady{Ready: ready, Version: m.rm.Version()}
+		if !ready {
+			st.Ready = false
+		}
 	}
-	fmt.Fprintln(w, "ok")
+	if st.Draining {
+		st.Ready = false
+	}
+	code := http.StatusOK
+	if !st.Ready {
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, st)
 }
 
-func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
-	s.metrics.QueueDepth.Store(s.gate.Waiting())
-	s.metrics.InFlight.Store(s.gate.Held())
-	snap := s.metrics.Snapshot()
-	st := Statusz{
-		Model:             s.meta.Name,
-		Uptime:            time.Since(s.started).Round(time.Millisecond).String(),
-		UptimeSeconds:     time.Since(s.started).Seconds(),
-		Ready:             s.ready.Load(),
-		Replicas:          s.cfg.Replicas,
-		ReplicasAvailable: len(s.pool),
-		MaxQueue:          s.cfg.MaxQueue,
-		RequestTimeout:    s.cfg.RequestTimeout.String(),
-		Metrics:           snap,
+func (s *Server) modelStatus(m *model) ModelStatus {
+	metrics := m.rm.Metrics()
+	metrics.QueueDepth.Store(m.rm.Gate().Waiting())
+	metrics.InFlight.Store(m.rm.Gate().Held())
+	snap := metrics.Snapshot()
+	ms := ModelStatus{
+		Name:           m.name,
+		Version:        m.rm.Version(),
+		Ready:          m.ready.Load(),
+		Default:        m.isDefault,
+		Replicas:       m.cfg.Replicas,
+		MaxQueue:       m.cfg.MaxQueue,
+		RequestTimeout: m.cfg.RequestTimeout.String(),
+		Swaps:          m.rm.Swaps(),
+		Rollbacks:      m.rm.Rollbacks(),
+		LastReload:     m.rm.LastReload(),
+		Metrics:        snap,
 	}
-	if s.exec != nil {
-		es := &ExecStatus{Budget: s.exec.Budget()}
-		if p := s.exec.Pool(); p != nil {
-			es.Report = p.Report()
-		} else {
-			es.Report = exec.Report{Source: "serial"}
-		}
-		st.Exec = es
+	if rs := m.currentSet(); rs != nil {
+		ms.ReplicasAvailable = rs.available()
 	}
-	if s.batcher != nil {
-		// Batch workers never die (a panicked runner is replaced), so the
-		// replica count is also the available count.
-		st.ReplicasAvailable = s.cfg.Replicas
-		st.Batch = &BatchStatus{
-			Window:             s.cfg.BatchWindow.String(),
-			MaxBatch:           s.cfg.MaxBatch,
+	if m.cfg.Batching {
+		ms.Batch = &BatchStatus{
+			Window:             m.cfg.BatchWindow.String(),
+			MaxBatch:           m.cfg.MaxBatch,
 			Batches:            snap.Batches,
 			MeanOccupancy:      snap.BatchMeanOccupancy,
 			MaxOccupancy:       snap.BatchMaxOccupancy,
@@ -473,19 +457,106 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			FlushDrain:         snap.BatchFlushDrain,
 		}
 	}
+	return ms
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	models := make(map[string]ModelStatus, len(s.order))
+	for _, m := range s.order {
+		models[m.name] = s.modelStatus(m)
+	}
+	def := models[s.def.name]
+	st := Statusz{
+		Model:             def.Name,
+		Version:           def.Version,
+		Uptime:            time.Since(s.started).Round(time.Millisecond).String(),
+		UptimeSeconds:     time.Since(s.started).Seconds(),
+		Ready:             s.Ready(),
+		Replicas:          def.Replicas,
+		ReplicasAvailable: def.ReplicasAvailable,
+		MaxQueue:          def.MaxQueue,
+		RequestTimeout:    def.RequestTimeout,
+		Batch:             def.Batch,
+		Metrics:           def.Metrics,
+		Models:            models,
+	}
+	if rs := s.def.currentSet(); rs != nil && rs.exec != nil {
+		es := &ExecStatus{Budget: rs.exec.Budget()}
+		if p := rs.exec.Pool(); p != nil {
+			es.Report = p.Report()
+		} else {
+			es.Report = exec.Report{Source: "serial"}
+		}
+		st.Exec = es
+	}
 	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	s.modelInfo(w, r, s.def)
+}
+
+func (s *Server) modelInfo(w http.ResponseWriter, r *http.Request, m *model) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		w.Header().Set("Allow", "GET, HEAD")
 		writeError(w, http.StatusMethodNotAllowed, "bad_request", "GET required")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.meta)
+	meta := m.meta
+	if rs := m.currentSet(); rs != nil {
+		meta = rs.meta
+	}
+	writeJSON(w, http.StatusOK, meta)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, http.StatusMethodNotAllowed, "bad_request", "GET required")
+		return
+	}
+	infos := make([]ModelInfo, len(s.order))
+	for i, m := range s.order {
+		infos[i] = ModelInfo{
+			Name:    m.name,
+			Version: m.rm.Version(),
+			Ready:   m.ready.Load(),
+			Default: m.isDefault,
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Models []ModelInfo `json:"models"`
+	}{infos})
+}
+
+func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.byName[r.PathValue("model")]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_model",
+			fmt.Sprintf("unknown model %q", r.PathValue("model")))
+		return
+	}
+	s.modelInfo(w, r, m)
+}
+
+func (s *Server) handleModelInfer(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.byName[r.PathValue("model")]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_model",
+			fmt.Sprintf("unknown model %q", r.PathValue("model")))
+		return
+	}
+	s.infer(w, r, m)
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	s.infer(w, r, s.def)
+}
+
+// infer serves one request against model m. The request pins exactly one
+// version of the model for its lifetime: a hot reload mid-request leaves
+// it running (and returning its replica) on the version it started on.
+func (s *Server) infer(w http.ResponseWriter, r *http.Request, m *model) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
 		writeError(w, http.StatusMethodNotAllowed, "bad_request", "POST required")
@@ -496,67 +567,96 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("Content-Type %q not supported; use application/json", ct))
 		return
 	}
-	s.metrics.Requests.Add(1)
+	metrics := m.rm.Metrics()
+	metrics.Requests.Add(1)
+
+	// Draining does NOT gate here: hs.Shutdown already refuses new
+	// connections, and requests arriving on accepted ones deserve to
+	// finish — that is what graceful drain means. Only a model whose
+	// warm-up failed refuses traffic.
+	if !m.ready.Load() {
+		metrics.Shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "not_ready",
+			fmt.Sprintf("model %q failed warm-up and is not serving", m.name))
+		return
+	}
 
 	var req InferRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err := dec.Decode(&req); err != nil {
-		s.metrics.BadRequests.Add(1)
+		metrics.BadRequests.Add(1)
 		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad request: %v", err))
 		return
 	}
-	want := s.meta.InputH * s.meta.InputW * s.meta.InputC
+	want := m.meta.InputH * m.meta.InputW * m.meta.InputC
 	if len(req.Data) != want {
-		s.metrics.BadRequests.Add(1)
+		metrics.BadRequests.Add(1)
 		writeError(w, http.StatusBadRequest, "bad_request",
 			fmt.Sprintf("input has %d values, model wants %d (%dx%dx%d NHWC)",
-				len(req.Data), want, s.meta.InputH, s.meta.InputW, s.meta.InputC))
+				len(req.Data), want, m.meta.InputH, m.meta.InputW, m.meta.InputC))
 		return
 	}
 	if err := validateFinite(req.Data); err != nil {
-		s.metrics.BadRequests.Add(1)
+		metrics.BadRequests.Add(1)
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
 	//bitflow:panic-ok FromSlice only panics on a length mismatch, ruled out by the check above
-	x := tensor.FromSlice(s.meta.InputH, s.meta.InputW, s.meta.InputC, req.Data)
+	x := tensor.FromSlice(m.meta.InputH, m.meta.InputW, m.meta.InputC, req.Data)
 
 	// Admission: wait for a slot inside the bounded queue, giving up
 	// when the per-request deadline (or the client) expires. In batch
 	// mode a slot is a seat in a forming batch rather than a replica.
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	ctx, cancel := context.WithTimeout(r.Context(), m.cfg.RequestTimeout)
 	defer cancel()
 	// serve.admit only delays (Sleep/Stall widen queue-pressure races); any
 	// resulting deadline surfaces through gate.Acquire below.
-	_ = faultinject.ServeAdmit.Fire(ctx, "", 0)
-	if err := s.gate.Acquire(ctx); err != nil {
-		s.metrics.Shed.Add(1)
+	_ = faultinject.ServeAdmit.Fire(ctx, m.name, 0)
+	gate := m.rm.Gate()
+	if err := gate.Acquire(ctx); err != nil {
+		metrics.Shed.Add(1)
 		switch {
 		case errors.Is(err, resilience.ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "queue_full",
 				fmt.Sprintf("admission queue full (%d waiting, %d allowed); retry later",
-					s.gate.Waiting(), s.cfg.MaxQueue))
+					gate.Waiting(), m.cfg.MaxQueue))
 		default: // deadline expired or client went away while queued
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, "deadline",
-				fmt.Sprintf("deadline expired after %s waiting for a replica", s.cfg.RequestTimeout))
+				fmt.Sprintf("deadline expired after %s waiting for a replica", m.cfg.RequestTimeout))
 		}
 		return
 	}
 	//bitflow:panic-ok Release pairs with the successful Acquire above; its panic is a misuse guard, not a request-reachable state
-	defer s.gate.Release()
+	defer gate.Release()
 
-	if s.batcher != nil {
-		s.inferBatched(w, ctx, x)
+	// Pin the current version: the release (deferred before any replica
+	// restore below, so it runs after) is what a draining old version
+	// waits on before its replicas are retired.
+	set, release := m.rm.Acquire()
+	defer release()
+	rs, ok := set.(*replicaSet)
+	if !ok {
+		// Only reachable if an embedder registered a foreign ReplicaSet.
+		metrics.Shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "not_ready",
+			fmt.Sprintf("model %q has no serving replica set", m.name))
+		return
+	}
+
+	if rs.batcher != nil {
+		s.inferBatched(w, ctx, m, rs, x)
 		return
 	}
 
 	// The gate guarantees a replica is free: slot holders hold at most one
 	// replica and always return one (re-cloned after a panic) on exit.
-	b := <-s.pool
+	b := <-rs.pool
 	restore := b
-	defer func() { s.pool <- restore }()
+	defer func() { rs.pool <- restore }()
 
 	t0 := time.Now()
 	var (
@@ -572,9 +672,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		// request can never shrink pool capacity. If even cloning fails,
 		// fall back to returning the original replica — degraded beats
 		// leaking the slot.
-		s.metrics.PanicsRecovered.Add(1)
+		metrics.PanicsRecovered.Add(1)
 		if cloneErr := resilience.Safe(func() {
-			_ = faultinject.ServeClone.Fire(nil, "", 0)
+			_ = faultinject.ServeClone.Fire(nil, m.name, 0)
 			restore = b.clone()
 		}); cloneErr != nil {
 			restore = b
@@ -588,19 +688,19 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		// is load, not a malformed request: 503 with Retry-After, same
 		// taxonomy as a deadline that expires in the queue.
 		if errors.Is(inferErr, context.DeadlineExceeded) || errors.Is(inferErr, context.Canceled) {
-			s.metrics.Shed.Add(1)
+			metrics.Shed.Add(1)
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, "deadline",
 				fmt.Sprintf("request cancelled mid-inference: %v", inferErr))
 			return
 		}
-		s.metrics.BadRequests.Add(1)
+		metrics.BadRequests.Add(1)
 		writeError(w, http.StatusBadRequest, "bad_request", inferErr.Error())
 		return
 	}
 
-	s.metrics.OK.Add(1)
-	s.metrics.ObserveLatency(elapsed)
+	metrics.OK.Add(1)
+	metrics.ObserveLatency(elapsed)
 
 	best := 0
 	for i, v := range logits {
@@ -615,12 +715,14 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// inferBatched serves one admitted request through the micro-batcher: the
-// request takes a seat in the forming batch and blocks on its future. The
-// error taxonomy (and HTTP API) is identical to the unbatched path.
-func (s *Server) inferBatched(w http.ResponseWriter, ctx context.Context, x *tensor.Tensor) {
+// inferBatched serves one admitted request through the pinned version's
+// micro-batcher: the request takes a seat in the forming batch and blocks
+// on its future. The error taxonomy (and HTTP API) is identical to the
+// unbatched path.
+func (s *Server) inferBatched(w http.ResponseWriter, ctx context.Context, m *model, rs *replicaSet, x *tensor.Tensor) {
+	metrics := m.rm.Metrics()
 	t0 := time.Now()
-	logits, err := s.batcher.Submit(ctx, x)
+	logits, err := rs.batcher.Submit(ctx, x)
 	elapsed := time.Since(t0)
 	if err != nil {
 		var pe *resilience.PanicError
@@ -631,28 +733,29 @@ func (s *Server) inferBatched(w http.ResponseWriter, ctx context.Context, x *ten
 			writeError(w, http.StatusInternalServerError, "panic",
 				fmt.Sprintf("inference failed: %v", pe))
 		case errors.Is(err, batch.ErrQueueFull):
-			s.metrics.Shed.Add(1)
+			metrics.Shed.Add(1)
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "queue_full", "batch queue full; retry later")
 		case errors.Is(err, batch.ErrClosed):
+			metrics.Shed.Add(1)
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, "not_ready", "server is draining")
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-			s.metrics.Shed.Add(1)
+			metrics.Shed.Add(1)
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, "deadline",
-				fmt.Sprintf("deadline expired after %s waiting for a batch slot", s.cfg.RequestTimeout))
+				fmt.Sprintf("deadline expired after %s waiting for a batch slot", m.cfg.RequestTimeout))
 		case errors.As(err, &ie):
-			s.metrics.BadRequests.Add(1)
+			metrics.BadRequests.Add(1)
 			writeError(w, http.StatusBadRequest, "bad_request", ie.Error())
 		default:
-			s.metrics.BadRequests.Add(1)
+			metrics.BadRequests.Add(1)
 			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		}
 		return
 	}
-	s.metrics.OK.Add(1)
-	s.metrics.ObserveLatency(elapsed)
+	metrics.OK.Add(1)
+	metrics.ObserveLatency(elapsed)
 	best := 0
 	for i, v := range logits {
 		if v > logits[best] {
@@ -711,7 +814,7 @@ func (s *Server) ListenAndServe(ctx context.Context, hc HTTPConfig) error {
 // ServeListener is ListenAndServe on an existing listener (tests use a
 // 127.0.0.1:0 listener). The listener is closed when serving stops.
 func (s *Server) ServeListener(ctx context.Context, l net.Listener, hc HTTPConfig) error {
-	hc = hc.withDefaults(s.cfg.RequestTimeout)
+	hc = hc.withDefaults(s.def.cfg.RequestTimeout)
 	hs := &http.Server{
 		Handler:      s.Handler(),
 		ReadTimeout:  hc.ReadTimeout,
@@ -727,16 +830,18 @@ func (s *Server) ServeListener(ctx context.Context, l net.Listener, hc HTTPConfi
 	case <-ctx.Done():
 		// Flip readiness first so health-checked balancers drain us, then
 		// let in-flight requests finish inside the grace window.
-		s.ready.Store(false)
+		s.draining.Store(true)
 		sctx, cancel := context.WithTimeout(context.Background(), hc.ShutdownGrace)
 		defer cancel()
 		err := hs.Shutdown(sctx)
 		<-errc // always http.ErrServerClosed after Shutdown
-		if s.batcher != nil {
-			// In-flight HTTP requests have finished (or been cut off), so
-			// the batcher can flush its backlog and stop its workers.
-			if berr := s.batcher.Close(sctx); err == nil {
-				err = berr
+		// In-flight HTTP requests have finished (or been cut off); every
+		// model can now retire its replica set — the batchers flush their
+		// backlogs and stop their workers, the pools are drained and
+		// leak-checked.
+		for _, m := range s.order {
+			if cerr := m.rm.Close(sctx); err == nil {
+				err = cerr
 			}
 		}
 		return err

@@ -20,7 +20,7 @@ go run ./cmd/bitflow-vet ./...
 echo "== go test -shuffle=on $* ./..."
 go test -shuffle=on "$@" ./...
 
-echo "== go test -race -shuffle=on ./internal/exec/... ./internal/serve/... ./internal/resilience/... ./internal/batch/... ./internal/core/... ./internal/faultinject/..."
-go test -race -shuffle=on ./internal/exec/... ./internal/serve/... ./internal/resilience/... ./internal/batch/... ./internal/core/... ./internal/faultinject/...
+echo "== go test -race -shuffle=on ./internal/exec/... ./internal/serve/... ./internal/resilience/... ./internal/batch/... ./internal/core/... ./internal/faultinject/... ./internal/registry/..."
+go test -race -shuffle=on ./internal/exec/... ./internal/serve/... ./internal/resilience/... ./internal/batch/... ./internal/core/... ./internal/faultinject/... ./internal/registry/...
 
 echo "verify: OK"
