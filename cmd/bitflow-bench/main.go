@@ -40,7 +40,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bitflow-bench [flags] {fig7|fig8|fig9|fig10|fig11|table5|ait|sweep|batch|exec|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: bitflow-bench [flags] {fig7|fig8|fig9|fig10|fig11|table5|ait|sweep|batch|exec|autoscale|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -78,6 +78,8 @@ func main() {
 		run("batch", runBatchBench)
 	case "exec":
 		run("exec", runExecBench)
+	case "autoscale":
+		run("autoscale", runAutoscaleBench)
 	case "all":
 		for _, sub := range []struct {
 			name string

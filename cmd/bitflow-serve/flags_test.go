@@ -1,0 +1,229 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// base returns a flagValues matching the flag defaults, which must
+// always validate.
+func base() flagValues {
+	return flagValues{
+		replicas:       2,
+		batchWindow:    2 * time.Millisecond,
+		maxBatch:       8,
+		requestTimeout: 30 * time.Second,
+	}
+}
+
+func setOf(names ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func TestValidateFlagsAcceptsDefaults(t *testing.T) {
+	if err := validateFlags(base(), setOf()); err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+}
+
+func TestValidateFlagsRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*flagValues)
+		set     []string
+		wantSub string
+	}{
+		{
+			name:    "replicas below 1",
+			mutate:  func(v *flagValues) { v.replicas = 0 },
+			wantSub: "-replicas must be at least 1",
+		},
+		{
+			name:    "negative batch window",
+			mutate:  func(v *flagValues) { v.batch = true; v.batchWindow = -time.Millisecond },
+			set:     []string{"batch", "batch-window"},
+			wantSub: "-batch-window must be positive",
+		},
+		{
+			name:    "zero batch window",
+			mutate:  func(v *flagValues) { v.batch = true; v.batchWindow = 0 },
+			set:     []string{"batch", "batch-window"},
+			wantSub: "-batch-window must be positive",
+		},
+		{
+			name:    "max-batch below 1",
+			mutate:  func(v *flagValues) { v.batch = true; v.maxBatch = 0 },
+			set:     []string{"batch", "max-batch"},
+			wantSub: "-max-batch must be at least 1",
+		},
+		{
+			name:    "batch-window without -batch",
+			mutate:  func(v *flagValues) { v.batchWindow = 5 * time.Millisecond },
+			set:     []string{"batch-window"},
+			wantSub: "-batch-window has no effect without -batch",
+		},
+		{
+			name:    "max-batch without -batch",
+			mutate:  func(v *flagValues) { v.maxBatch = 16 },
+			set:     []string{"max-batch"},
+			wantSub: "-max-batch has no effect without -batch",
+		},
+		{
+			name:    "non-positive request timeout",
+			mutate:  func(v *flagValues) { v.requestTimeout = 0 },
+			set:     []string{"request-timeout"},
+			wantSub: "-request-timeout must be positive",
+		},
+		{
+			name:    "autoscale bound without -autoscale",
+			mutate:  func(v *flagValues) { v.asMaxReplicas = 8 },
+			set:     []string{"autoscale-max-replicas"},
+			wantSub: "-autoscale-max-replicas has no effect without -autoscale",
+		},
+		{
+			name:    "autoscale interval without -autoscale",
+			mutate:  func(v *flagValues) { v.asInterval = time.Second },
+			set:     []string{"autoscale-interval"},
+			wantSub: "-autoscale-interval has no effect without -autoscale",
+		},
+		{
+			name:    "non-positive autoscale interval",
+			mutate:  func(v *flagValues) { v.autoscale = true; v.asInterval = -time.Second },
+			set:     []string{"autoscale", "autoscale-interval"},
+			wantSub: "-autoscale-interval must be positive",
+		},
+		{
+			name:    "autoscale batch bound without -batch",
+			mutate:  func(v *flagValues) { v.autoscale = true; v.asMaxBatch = 32 },
+			set:     []string{"autoscale", "autoscale-max-batch"},
+			wantSub: "-autoscale-max-batch has no effect without -batch",
+		},
+		{
+			name: "replica bounds inverted",
+			mutate: func(v *flagValues) {
+				v.autoscale = true
+				v.asMinReplicas, v.asMaxReplicas = 4, 2
+				v.replicas = 4
+			},
+			set:     []string{"autoscale", "autoscale-min-replicas", "autoscale-max-replicas"},
+			wantSub: "-autoscale-min-replicas 4 exceeds -autoscale-max-replicas 2",
+		},
+		{
+			name: "replica ceiling below static count",
+			mutate: func(v *flagValues) {
+				v.autoscale = true
+				v.replicas = 4
+				v.asMaxReplicas = 2
+			},
+			set:     []string{"autoscale", "autoscale-max-replicas"},
+			wantSub: "excludes the static -replicas 4",
+		},
+		{
+			name: "batch floor above static max-batch",
+			mutate: func(v *flagValues) {
+				v.autoscale, v.batch = true, true
+				v.asMinBatch = 16
+			},
+			set:     []string{"autoscale", "batch", "autoscale-min-batch"},
+			wantSub: "excludes the static -max-batch 8",
+		},
+		{
+			name: "window bounds inverted",
+			mutate: func(v *flagValues) {
+				v.autoscale, v.batch = true, true
+				v.asMinWindow, v.asMaxWindow = 8*time.Millisecond, time.Millisecond
+			},
+			set:     []string{"autoscale", "batch", "autoscale-min-window", "autoscale-max-window"},
+			wantSub: "-autoscale-min-window 8ms exceeds -autoscale-max-window 1ms",
+		},
+		{
+			name: "window ceiling below static window",
+			mutate: func(v *flagValues) {
+				v.autoscale, v.batch = true, true
+				v.asMaxWindow = time.Millisecond
+			},
+			set:     []string{"autoscale", "batch", "autoscale-max-window"},
+			wantSub: "excludes the static -batch-window 2ms",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := base()
+			tc.mutate(&v)
+			err := validateFlags(v, setOf(tc.set...))
+			if err == nil {
+				t.Fatalf("flag combination accepted, want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateFlagsAccepts(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*flagValues)
+		set    []string
+	}{
+		{
+			name:   "autoscale with defaulted bounds",
+			mutate: func(v *flagValues) { v.autoscale = true },
+			set:    []string{"autoscale"},
+		},
+		{
+			name: "autoscale with a full explicit envelope",
+			mutate: func(v *flagValues) {
+				v.autoscale, v.batch = true, true
+				v.asInterval = 100 * time.Millisecond
+				v.asMinReplicas, v.asMaxReplicas = 1, 8
+				v.asMinBatch, v.asMaxBatch = 1, 32
+				v.asMinWindow, v.asMaxWindow = 500*time.Microsecond, 8*time.Millisecond
+			},
+			set: []string{"autoscale", "batch", "autoscale-interval",
+				"autoscale-min-replicas", "autoscale-max-replicas",
+				"autoscale-min-batch", "autoscale-max-batch",
+				"autoscale-min-window", "autoscale-max-window"},
+		},
+		{
+			name: "manifest mode allows batch flags without -batch",
+			mutate: func(v *flagValues) {
+				v.models = "manifest.json"
+				v.batchWindow = 4 * time.Millisecond
+			},
+			set: []string{"models", "batch-window"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := base()
+			tc.mutate(&v)
+			if err := validateFlags(v, setOf(tc.set...)); err != nil {
+				t.Fatalf("valid flag combination rejected: %v", err)
+			}
+		})
+	}
+}
+
+func TestEffectiveMaxReplicasTracksAutoscaleBound(t *testing.T) {
+	*flagAutoscale = false
+	if got := effectiveMaxReplicas(4); got != 4 {
+		t.Errorf("static mode: %d, want 4", got)
+	}
+	*flagAutoscale = true
+	defer func() { *flagAutoscale = false }()
+	if got := effectiveMaxReplicas(4); got != 8 {
+		t.Errorf("autoscale default ceiling: %d, want 8 (2x static)", got)
+	}
+	*flagAutoscaleMaxReplicas = 6
+	defer func() { *flagAutoscaleMaxReplicas = 0 }()
+	if got := effectiveMaxReplicas(4); got != 6 {
+		t.Errorf("explicit ceiling: %d, want 6", got)
+	}
+}

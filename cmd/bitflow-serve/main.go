@@ -26,7 +26,15 @@
 //
 // The server sheds load once a model's queue bound is hit (429) or a
 // request's deadline expires in the queue (503), and drains in-flight
-// requests for -shutdown-grace after SIGINT/SIGTERM.
+// requests for -shutdown-grace after SIGINT/SIGTERM. Shed responses
+// carry a Retry-After derived from the live queue depth and observed
+// service rate.
+//
+// -autoscale turns the static QoS envelope into the starting point of a
+// per-model control loop that retunes batch window, max-batch, and
+// replica count within the -autoscale-* bounds (see /statusz's control
+// section for the live setpoints and decision ledger; pin setpoints via
+// POST /admin/autoscale on -admin-addr).
 //
 // Thread sizing: all replicas dispatch onto ONE persistent worker pool of
 // -threads-total workers, and each inference uses at most -threads of
@@ -98,6 +106,7 @@ func flagConfig(ex *exec.Ctx) serve.Config {
 		Batching:       *flagBatch,
 		BatchWindow:    *flagBatchWindow,
 		MaxBatch:       *flagMaxBatch,
+		Autoscale:      autoscaleConfig(),
 		Exec:           ex,
 	}
 }
@@ -195,6 +204,9 @@ func main() {
 	if *flagLoad != "" && *flagModels != "" {
 		fatalf("-load and -models are mutually exclusive")
 	}
+	if err := validateFlags(currentFlagValues(), explicitFlags()); err != nil {
+		fatalf("%v", err)
+	}
 
 	// One process-wide pool for every replica of every model;
 	// per-inference budget clamped so concurrent replicas cannot
@@ -218,7 +230,7 @@ func main() {
 				maxReplicas = e.Replicas
 			}
 		}
-		threads = clampThreads(threads, maxReplicas)
+		threads = clampThreads(threads, effectiveMaxReplicas(maxReplicas))
 		base := flagConfig(exec.Pooled(pool, threads))
 		specs := make([]serve.ModelSpec, 0, len(man.Models))
 		served = make(map[string]registry.ManifestEntry, len(man.Models))
@@ -258,7 +270,7 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		threads = clampThreads(threads, *flagReplicas)
+		threads = clampThreads(threads, effectiveMaxReplicas(*flagReplicas))
 		srv = serve.NewWithConfig(net, flagConfig(exec.Pooled(pool, threads)))
 	}
 	if !srv.Ready() {
@@ -317,6 +329,11 @@ func main() {
 		}
 		fmt.Printf("serving model %q version %s on %s with %d replica(s), queue %d\n",
 			name, ins.Version, *flagAddr, ins.Replicas, ins.GateMaxQueue)
+		if st := srv.ControlStatus(name); st != nil {
+			fmt.Printf("autoscale %q: replicas [%d, %d], max-batch [%d, %d], window [%s, %s]\n",
+				name, st.Bounds.MinReplicas, st.Bounds.MaxReplicas,
+				st.Bounds.MinBatch, st.Bounds.MaxBatch, st.Bounds.MinWindow, st.Bounds.MaxWindow)
+		}
 	}
 	rep := pool.Report()
 	fmt.Printf("exec pool: %d worker(s) (%s), %d thread(s)/inference, GOMAXPROCS %d, %d CPU(s)\n",

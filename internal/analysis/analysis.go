@@ -10,7 +10,9 @@
 //     pre-allocated at load/Ensure* time, the whole point of the
 //     PressedConv/bgemm design) — hotalloc;
 //   - every panic on a serving path is dominated by resilience.Safe so a
-//     replica re-clones instead of the process dying — panicpath.
+//     replica re-clones instead of the process dying — panicpath;
+//   - the adaptive control loop stays mechanism-free and actuates only
+//     through the exported resize/retune APIs — actuate.
 //
 // Each analyzer walks the fully type-checked module (stdlib go/ast +
 // go/types; packages are loaded via `go list -export`, so no external
@@ -23,6 +25,7 @@
 //	//bitflow:alloc-ok <justification>   (hotalloc)
 //	//bitflow:go-ok <justification>      (rawgo)
 //	//bitflow:panic-ok <justification>   (panicpath)
+//	//bitflow:actuate-ok <justification> (actuate)
 //	//bitflow:hot                        (extra hotalloc root)
 //
 // A marker with an empty justification is itself a finding.
@@ -87,7 +90,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{RawGo, ThreadsInt, HotAlloc, PanicPath}
+	return []*Analyzer{RawGo, ThreadsInt, HotAlloc, PanicPath, Actuate}
 }
 
 // Run executes the given analyzers and returns their findings sorted by

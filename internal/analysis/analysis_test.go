@@ -132,6 +132,25 @@ func TestKernelsPanicFixture(t *testing.T) {
 	checkFixture(t, "fixture/internal/kernels", "testdata/kernelspanic")
 }
 
+func TestActuateFixture(t *testing.T) {
+	findings := checkFixture(t, "fixture/internal/serve", "testdata/actuate")
+	// The bare //bitflow:actuate-ok must surface as a bad annotation, not
+	// as a generic field-write finding.
+	found := false
+	for _, f := range findings {
+		if strings.Contains(f.Message, "needs a justification") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a needs-a-justification finding for the bare //bitflow:actuate-ok")
+	}
+}
+
+func TestActuateControlImportFixture(t *testing.T) {
+	checkFixture(t, "fixture/internal/control", "testdata/actuatecontrol")
+}
+
 // TestModuleIsClean runs the full suite over the real module: the tree
 // must stay at zero findings (every exception annotated with a reason).
 // This is the same gate verify.sh enforces through cmd/bitflow-vet.

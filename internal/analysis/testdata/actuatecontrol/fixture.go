@@ -1,0 +1,13 @@
+// Package actuatecontrol seeds the actuate rule's layering violation:
+// a package in the internal/control role importing one of the packages
+// the controller actuates. The dependency must point the other way —
+// serve implements control.Actuator — so the control loop can never
+// reach around its own actuation interface.
+package actuatecontrol
+
+import (
+	"bitflow/internal/registry" // want:actuate
+)
+
+// keep the forbidden import live for the type checker.
+var _ = registry.OutcomeSwapped

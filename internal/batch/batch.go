@@ -71,9 +71,13 @@ type Config struct {
 	// ErrQueueFull beyond it. Default Workers × MaxBatch × 2.
 	QueueCap int
 	// NewRunner builds a runner for a worker — called once per worker at
-	// start and again after a captured panic, so a poisoned runner is
-	// replaced instead of reused.
+	// start, again after a captured panic (so a poisoned runner is
+	// replaced instead of reused), and for each worker a Resize grow adds.
 	NewRunner func() (Runner, error)
+	// VerifyRunner, when set, validates a runner built during a Resize
+	// grow before it serves traffic (e.g. a bit-exactness probe against a
+	// reference replica). It runs off the hot path. Optional.
+	VerifyRunner func(Runner) error
 	// Check validates one input before it is enqueued (e.g. the
 	// composition of graph.CheckInput and a finite scan). A non-nil
 	// return fails only that request, wrapped in *InputError. Optional.
@@ -124,12 +128,24 @@ func (r *request) complete(out []float32, err error) {
 
 // Batcher coalesces Submit calls into batches and runs them on a pool of
 // workers. Create with New; stop with Close.
+//
+// The coalescing parameters (window, max-batch) and the worker count are
+// runtime control variables: Retune and Resize adjust them on a live
+// batcher without interrupting service. Batches already assembling finish
+// under the parameters they started with.
 type Batcher struct {
 	cfg   Config
 	queue chan *request
 
-	mu     sync.RWMutex // guards closed vs. sends on queue
-	closed bool
+	windowNanos atomic.Int64 // current coalescing window, ns
+	maxBatch    atomic.Int64 // current size cap
+	live        atomic.Int64 // workers currently running
+	target      atomic.Int64 // workers Resize wants running
+	retire      chan struct{} // wakes idle workers so a shrink can retire them
+
+	resizeMu sync.Mutex   // serializes Resize calls
+	mu       sync.RWMutex // guards closed vs. sends on queue and worker spawns
+	closed   bool
 
 	closing chan struct{} // closed by Close: workers switch to drain mode
 	wg      sync.WaitGroup
@@ -146,8 +162,12 @@ func New(cfg Config) (*Batcher, error) {
 	b := &Batcher{
 		cfg:     cfg,
 		queue:   make(chan *request, cfg.QueueCap),
+		retire:  make(chan struct{}, 1),
 		closing: make(chan struct{}),
 	}
+	b.windowNanos.Store(int64(cfg.Window))
+	b.maxBatch.Store(int64(cfg.MaxBatch))
+	b.target.Store(int64(cfg.Workers))
 	runners := make([]Runner, cfg.Workers)
 	for i := range runners {
 		r, err := cfg.NewRunner()
@@ -157,10 +177,113 @@ func New(cfg Config) (*Batcher, error) {
 		runners[i] = r
 	}
 	for _, r := range runners {
+		b.live.Add(1)
 		b.wg.Add(1)
 		go b.worker(r)
 	}
 	return b, nil
+}
+
+// Retune atomically replaces the coalescing window and size cap. The next
+// batch to start assembling uses the new parameters; a batch mid-assembly
+// finishes under the old ones. Both values must be positive.
+func (b *Batcher) Retune(window time.Duration, maxBatch int) error {
+	if window <= 0 {
+		return fmt.Errorf("batch: retune window %v: must be > 0", window)
+	}
+	if maxBatch < 1 {
+		return fmt.Errorf("batch: retune max-batch %d: must be ≥ 1", maxBatch)
+	}
+	b.windowNanos.Store(int64(window))
+	b.maxBatch.Store(int64(maxBatch))
+	return nil
+}
+
+// Params reports the current coalescing window, size cap, and live worker
+// count.
+func (b *Batcher) Params() (window time.Duration, maxBatch, workers int) {
+	return time.Duration(b.windowNanos.Load()), int(b.maxBatch.Load()), int(b.live.Load())
+}
+
+// Resize grows or shrinks the worker pool to n on a live batcher. Growing
+// builds fresh runners via cfg.NewRunner (optionally validated by
+// cfg.VerifyRunner) and starts them immediately. Shrinking is graceful:
+// surplus workers retire between batches, never mid-batch, so no request
+// is dropped; Resize waits for the count to land, bounded by ctx. On a
+// partial grow failure the workers already started stay.
+func (b *Batcher) Resize(ctx context.Context, n int) error {
+	if n < 1 {
+		return fmt.Errorf("batch: resize to %d workers: must be ≥ 1", n)
+	}
+	b.resizeMu.Lock()
+	defer b.resizeMu.Unlock()
+	b.mu.RLock()
+	closed := b.closed
+	b.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	cur := int(b.live.Load())
+	b.target.Store(int64(n))
+	if n > cur {
+		for i := cur; i < n; i++ {
+			r, err := b.cfg.NewRunner()
+			if err != nil {
+				b.target.Store(int64(i))
+				return fmt.Errorf("batch: resize worker %d runner: %w", i, err)
+			}
+			if v := b.cfg.VerifyRunner; v != nil {
+				if err := v(r); err != nil {
+					b.target.Store(int64(i))
+					return fmt.Errorf("batch: resize worker %d failed verification: %w", i, err)
+				}
+			}
+			b.mu.RLock()
+			if b.closed {
+				b.mu.RUnlock()
+				b.target.Store(int64(i))
+				return ErrClosed
+			}
+			b.live.Add(1)
+			b.wg.Add(1)
+			go b.worker(r)
+			b.mu.RUnlock()
+		}
+		return nil
+	}
+	// Shrink: nudge an idle worker awake; busy workers notice the target
+	// when they return to their select loop. Keep nudging until the live
+	// count lands (a nudge can be consumed by a worker that then loses the
+	// retire race) or ctx gives up — in which case the new, lower target
+	// stays and remaining surplus workers retire as they go idle.
+	for b.live.Load() > int64(n) {
+		select {
+		case b.retire <- struct{}{}:
+		default:
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("batch: shrink %d→%d interrupted at %d live: %w", cur, n, b.live.Load(), ctx.Err())
+		case <-b.closing:
+			return nil
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+	return nil
+}
+
+// tryRetire atomically claims one retirement slot. It fails when the pool
+// is already at (or below) the target, so a stale nudge never over-shrinks.
+func (b *Batcher) tryRetire() bool {
+	for {
+		live := b.live.Load()
+		if live <= b.target.Load() || live <= 1 {
+			return false
+		}
+		if b.live.CompareAndSwap(live, live-1) {
+			return true
+		}
+	}
 }
 
 // Submit enqueues one inference request and blocks until its batch has
@@ -232,27 +355,43 @@ func (b *Batcher) Close(ctx context.Context) error {
 }
 
 // worker pulls requests off the queue, coalesces them, and runs batches
-// on its private runner until the queue is closed and drained.
+// on its private runner until the queue is closed and drained, or until a
+// shrink Resize retires it. Retirement only happens here, between
+// batches — never mid-batch.
 func (b *Batcher) worker(r Runner) {
 	defer b.wg.Done()
 	for {
-		first, ok := <-b.queue
-		if !ok {
+		if int(b.live.Load()) > int(b.target.Load()) && b.tryRetire() {
 			return
 		}
-		reqs, reason := b.collect(first)
-		if len(reqs) == 0 {
-			continue
+		select {
+		case first, ok := <-b.queue:
+			if !ok {
+				b.live.Add(-1)
+				return
+			}
+			reqs, reason := b.collect(first)
+			if len(reqs) == 0 {
+				continue
+			}
+			r = b.runBatch(r, reqs, reason)
+		case <-b.retire:
+			if b.tryRetire() {
+				return
+			}
 		}
-		r = b.runBatch(r, reqs, reason)
 	}
 }
 
 // collect assembles one batch starting from first: it admits queued
 // requests until the size cap, the window timer, or drain, skipping seats
 // whose caller has already cancelled (completed with their ctx error).
+// The window and size cap are read once at entry, so a concurrent Retune
+// affects the next batch, not this one.
 func (b *Batcher) collect(first *request) ([]*request, resilience.FlushReason) {
-	reqs := make([]*request, 0, b.cfg.MaxBatch)
+	window := time.Duration(b.windowNanos.Load())
+	maxBatch := int(b.maxBatch.Load())
+	reqs := make([]*request, 0, maxBatch)
 	admit := func(req *request) {
 		if err := req.ctx.Err(); err != nil {
 			req.complete(nil, err)
@@ -262,10 +401,10 @@ func (b *Batcher) collect(first *request) ([]*request, resilience.FlushReason) {
 	}
 	admit(first)
 
-	timer := time.NewTimer(b.cfg.Window)
+	timer := time.NewTimer(window)
 	defer timer.Stop()
 	reason := resilience.FlushFull
-	for len(reqs) < b.cfg.MaxBatch {
+	for len(reqs) < maxBatch {
 		select {
 		case req, ok := <-b.queue:
 			if !ok {
@@ -278,7 +417,7 @@ func (b *Batcher) collect(first *request) ([]*request, resilience.FlushReason) {
 			// Drain mode: stop waiting out the window, but keep filling
 			// from whatever is already queued so the backlog leaves in
 			// full batches, not singletons.
-			for len(reqs) < b.cfg.MaxBatch {
+			for len(reqs) < maxBatch {
 				select {
 				case req, ok := <-b.queue:
 					if !ok {

@@ -1,0 +1,241 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bitflow/internal/tensor"
+)
+
+// countingFactory builds independent fakeRunners and counts how many it
+// has handed out — the resize tests need per-worker runners (a shared
+// fakeRunner trips its own concurrent-use check, by design).
+type countingFactory struct {
+	built atomic.Int64
+	// maxConcurrent tracks the peak number of runners inside InferBatch
+	// at once, across all runners from this factory.
+	inflight      atomic.Int64
+	maxConcurrent atomic.Int64
+	delay         time.Duration
+}
+
+type factoryRunner struct {
+	f *countingFactory
+}
+
+func (r *factoryRunner) InferBatch(xs []*tensor.Tensor) ([][]float32, error) {
+	cur := r.f.inflight.Add(1)
+	defer r.f.inflight.Add(-1)
+	for {
+		peak := r.f.maxConcurrent.Load()
+		if cur <= peak || r.f.maxConcurrent.CompareAndSwap(peak, cur) {
+			break
+		}
+	}
+	if r.f.delay > 0 {
+		time.Sleep(r.f.delay)
+	}
+	outs := make([][]float32, len(xs))
+	for i, x := range xs {
+		var s float32
+		for _, v := range x.Data {
+			s += v
+		}
+		outs[i] = []float32{s}
+	}
+	return outs, nil
+}
+
+func (f *countingFactory) new() (Runner, error) {
+	f.built.Add(1)
+	return &factoryRunner{f: f}, nil
+}
+
+func TestRetuneTakesEffectOnNextBatch(t *testing.T) {
+	f := &countingFactory{}
+	b := newTestBatcher(t, Config{
+		Window: 300 * time.Millisecond, MaxBatch: 8, QueueCap: 64,
+		NewRunner: f.new,
+	}, nil)
+
+	// With max-batch 1 a lone request dispatches immediately instead of
+	// waiting out the 300ms window.
+	if err := b.Retune(time.Millisecond, 1); err != nil {
+		t.Fatalf("Retune: %v", err)
+	}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := b.Submit(ctx, tens(1)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if took := time.Since(start); took > 150*time.Millisecond {
+		t.Fatalf("lone request took %v after retune to max-batch 1; old window still in force?", took)
+	}
+	w, mb, workers := b.Params()
+	if w != time.Millisecond || mb != 1 || workers != 1 {
+		t.Fatalf("Params = (%v, %d, %d), want (1ms, 1, 1)", w, mb, workers)
+	}
+}
+
+func TestRetuneRejectsInvalid(t *testing.T) {
+	f := &countingFactory{}
+	b := newTestBatcher(t, Config{QueueCap: 8, NewRunner: f.new}, nil)
+	if err := b.Retune(0, 4); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if err := b.Retune(-time.Millisecond, 4); err == nil {
+		t.Fatal("negative window accepted")
+	}
+	if err := b.Retune(time.Millisecond, 0); err == nil {
+		t.Fatal("max-batch 0 accepted")
+	}
+	// The old parameters survive rejected retunes.
+	w, mb, _ := b.Params()
+	if w != 2*time.Millisecond || mb != 8 {
+		t.Fatalf("rejected retune changed params to (%v, %d)", w, mb)
+	}
+}
+
+func TestResizeGrowAddsParallelWorkers(t *testing.T) {
+	f := &countingFactory{delay: 30 * time.Millisecond}
+	b := newTestBatcher(t, Config{
+		Window: 100 * time.Microsecond, MaxBatch: 1, Workers: 1, QueueCap: 64,
+		NewRunner: f.new,
+	}, nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := b.Resize(ctx, 3); err != nil {
+		t.Fatalf("Resize: %v", err)
+	}
+	if _, _, workers := b.Params(); workers != 3 {
+		t.Fatalf("workers = %d after grow, want 3", workers)
+	}
+	if f.built.Load() != 3 {
+		t.Fatalf("factory built %d runners, want 3", f.built.Load())
+	}
+
+	// Three slow single-item batches must overlap now.
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = b.Submit(ctx, tens(1))
+		}()
+	}
+	wg.Wait()
+	if peak := f.maxConcurrent.Load(); peak < 2 {
+		t.Fatalf("peak concurrent batches = %d after grow to 3 workers", peak)
+	}
+}
+
+func TestResizeShrinkRetiresWorkersWithoutDroppingRequests(t *testing.T) {
+	f := &countingFactory{delay: time.Millisecond}
+	b := newTestBatcher(t, Config{
+		Window: 100 * time.Microsecond, MaxBatch: 2, Workers: 4, QueueCap: 64,
+		NewRunner: f.new,
+	}, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// Keep traffic flowing while the pool shrinks under it.
+	var submitErr atomic.Value
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := b.Submit(ctx, tens(1)); err != nil && !errors.Is(err, ErrQueueFull) {
+					submitErr.Store(err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := b.Resize(ctx, 1); err != nil {
+		t.Fatalf("shrink under load: %v", err)
+	}
+	if _, _, workers := b.Params(); workers != 1 {
+		t.Fatalf("workers = %d after shrink, want 1", workers)
+	}
+	close(stop)
+	wg.Wait()
+	if err := submitErr.Load(); err != nil {
+		t.Fatalf("request failed during shrink: %v", err)
+	}
+	// The lone surviving worker still serves.
+	if _, err := b.Submit(ctx, tens(2)); err != nil {
+		t.Fatalf("Submit after shrink: %v", err)
+	}
+}
+
+func TestResizeValidationAndClosed(t *testing.T) {
+	f := &countingFactory{}
+	cfg := Config{QueueCap: 8, NewRunner: f.new}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := b.Resize(ctx, 0); err == nil {
+		t.Fatal("resize to 0 accepted")
+	}
+	if err := b.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Resize(ctx, 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("resize after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestResizeGrowVerifyRunnerGates(t *testing.T) {
+	f := &countingFactory{}
+	verifyErr := errors.New("clone diverged")
+	var verified atomic.Int64
+	cfg := Config{
+		QueueCap:  8,
+		Workers:   1,
+		NewRunner: f.new,
+		VerifyRunner: func(r Runner) error {
+			verified.Add(1)
+			return verifyErr
+		},
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = b.Close(ctx)
+	})
+	ctx := context.Background()
+	if err := b.Resize(ctx, 3); !errors.Is(err, verifyErr) {
+		t.Fatalf("Resize with failing verification = %v, want %v", err, verifyErr)
+	}
+	if verified.Load() == 0 {
+		t.Fatal("VerifyRunner never ran during grow")
+	}
+	if _, _, workers := b.Params(); workers != 1 {
+		t.Fatalf("failed grow changed worker count to %d", workers)
+	}
+	// New at startup does NOT verify — only resize growth does.
+	if f.built.Load() < 2 {
+		t.Fatalf("factory calls = %d, expected startup + grow attempt", f.built.Load())
+	}
+}

@@ -129,6 +129,37 @@ func TestConformanceMultiModelReload(t *testing.T) {
 	}
 }
 
+// TestConformanceAutoscale sweeps generated fault schedules (which may
+// hit any point, including control.tick) over servers running the
+// adaptive control loop at a fast tick. Setpoint changes and replica
+// resizes interleave with the faulted workload; every conservation law
+// plus setpoint containment must hold, and the harness additionally
+// requires the controller to have actually ticked — an autoscale sweep
+// where the loop never ran would be vacuous.
+func TestConformanceAutoscale(t *testing.T) {
+	seeds := []int64{1, 7}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		for _, batching := range []bool{false, true} {
+			t.Run(fmt.Sprintf("seed=%d/batching=%v", seed, batching), func(t *testing.T) {
+				cfg := Defaults(seed)
+				cfg.Batching = batching
+				cfg.Autoscale = true
+				res := mustRun(t, cfg)
+				st := res.ControlStatuses["conformance"]
+				if st == nil {
+					t.Fatal("no controller status for the autoscaled model")
+				}
+				if st.Ticks == 0 {
+					t.Error("controller never ticked during the workload")
+				}
+			})
+		}
+	}
+}
+
 // TestConformanceNoFaults is the control: a nil script must sail through
 // with every good request returning 200.
 func TestConformanceNoFaults(t *testing.T) {

@@ -2,7 +2,7 @@
 // serving stack's fault tolerance: it drives a seeded, randomized request
 // workload through a live server while a seed-derived fault script
 // (internal/faultinject) injects panics, stalls, and errors into serve,
-// batch, exec, and graph — then a model-based oracle checks the stack's
+// batch, exec, graph, and control — then a model-based oracle checks the stack's
 // conservation invariants, which must hold after EVERY schedule:
 //
 //   - gate tokens conserved: once quiet, zero held, zero waiting, every
@@ -14,7 +14,10 @@
 //   - recovery: after the script is disarmed, a full-width probe wave
 //     must succeed — replicas are restored, not merely limping;
 //   - correctness: every 200 carries logits bit-identical to a serial
-//     reference inference of the same input.
+//     reference inference of the same input;
+//   - setpoint containment (autoscaled runs): the control loop's terminal
+//     setpoints lie inside the declared bounds, and a corruption-degraded
+//     controller has reverted to exactly the static geometry.
 //
 // A violation fails with the seed and the full fault script, so any
 // failure replays exactly. The suite runs under -race in verify.sh.
@@ -33,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"bitflow/internal/control"
 	"bitflow/internal/faultinject"
 	"bitflow/internal/graph"
 	"bitflow/internal/registry"
@@ -66,6 +70,11 @@ type Config struct {
 	// workload round-robins over /v1/models/{name}/infer, and the
 	// conservation laws are checked per model.
 	Models int
+	// Autoscale runs every model under the adaptive control loop with a
+	// fast tick, so fault schedules (including control.tick corruption)
+	// interleave with live setpoint changes and replica resizes. The
+	// oracle then additionally checks the setpoint-containment law.
+	Autoscale bool
 	// Reloads is the number of hot version swaps performed on the
 	// default model while the workload runs. The reload artifacts carry
 	// the same weights under new version labels, so the bit-exactness
@@ -131,6 +140,11 @@ type Result struct {
 	// run has one entry mirroring Snapshot/State.
 	ModelStates    map[string]serve.Introspection
 	ModelSnapshots map[string]resilience.Snapshot
+
+	// ControlStatuses is each autoscaled model's terminal controller
+	// state, sampled after drain (the controllers are halted, so the
+	// snapshot cannot race a tick). Nil entries mean "not autoscaled".
+	ControlStatuses map[string]*control.Status
 
 	Violations []string
 }
@@ -246,6 +260,16 @@ func Run(cfg Config) (*Result, error) {
 		MaxQueue:       cfg.MaxQueue,
 		RequestTimeout: cfg.RequestTimeout,
 		Batching:       cfg.Batching,
+	}
+	if cfg.Autoscale {
+		// A fast tick and a short cooldown so the controller actuates many
+		// times within one CI-budget workload; every other bound defaults
+		// from the static geometry.
+		srvCfg.Autoscale = &serve.AutoscaleConfig{
+			Interval:    2 * time.Millisecond,
+			MaxReplicas: cfg.Replicas + 2,
+			Cooldown:    1,
+		}
 	}
 	var srv *serve.Server
 	if cfg.Models == 1 {
@@ -382,8 +406,12 @@ func Run(cfg Config) (*Result, error) {
 				return nil, fmt.Errorf("conformance: introspecting %s: %w", name, err)
 			}
 			res.ModelStates[name] = in
+			// The pool is compared against the LIVE replica count: under
+			// autoscale the controller may still be resizing the set while
+			// we quiesce, and conservation means "every current replica is
+			// home", not "the boot-time count is home".
 			if in.GateHeld != 0 || in.GateWaiting != 0 ||
-				(!cfg.Batching && in.PoolAvailable != cfg.Replicas) {
+				(!cfg.Batching && in.PoolAvailable != in.Replicas) {
 				quiet = false
 			}
 		}
@@ -402,6 +430,16 @@ func Run(cfg Config) (*Result, error) {
 	// Phase 4: drain. A wedged worker or an un-completed future shows up
 	// here as a shutdown-grace timeout.
 	res.DrainErr = drain()
+
+	// Controller state is sampled only now, after drain halted every
+	// control loop: a mid-tick snapshot could otherwise race the tick
+	// that a fault script is stalling.
+	if cfg.Autoscale {
+		res.ControlStatuses = map[string]*control.Status{}
+		for _, name := range names {
+			res.ControlStatuses[name] = srv.ControlStatus(name)
+		}
+	}
 
 	oracle(res, refLogits)
 	return res, nil
@@ -625,5 +663,39 @@ func oracle(res *Result, refLogits map[string][][]float32) {
 	// res.State is the default model — the one the reload driver targets.
 	if len(res.Reloads) > 0 && res.State.Version != expect {
 		res.violatef("reload ledger: serving version %q, ledger says %q", res.State.Version, expect)
+	}
+
+	// Law 9: setpoint containment — no matter what the fault schedule did
+	// to the control loop, every model's terminal setpoints lie inside the
+	// operator-declared bounds, and a controller degraded by signal
+	// corruption has reverted to exactly the static geometry (adaptive
+	// serving degrades to static config, never to an arbitrary point).
+	for name, st := range res.ControlStatuses {
+		if st == nil {
+			res.violatef("control (%s): autoscale run has no controller status", name)
+			continue
+		}
+		sp, b := st.Setpoints, st.Bounds
+		if sp.Replicas < b.MinReplicas || sp.Replicas > b.MaxReplicas {
+			res.violatef("control (%s): replicas setpoint %d outside bounds [%d, %d]",
+				name, sp.Replicas, b.MinReplicas, b.MaxReplicas)
+		}
+		if sp.MaxBatch < b.MinBatch || sp.MaxBatch > b.MaxBatch {
+			res.violatef("control (%s): max-batch setpoint %d outside bounds [%d, %d]",
+				name, sp.MaxBatch, b.MinBatch, b.MaxBatch)
+		}
+		win, err := time.ParseDuration(sp.Window)
+		minW, errMin := time.ParseDuration(b.MinWindow)
+		maxW, errMax := time.ParseDuration(b.MaxWindow)
+		if err != nil || errMin != nil || errMax != nil {
+			res.violatef("control (%s): unparseable window status %q in [%q, %q]",
+				name, sp.Window, b.MinWindow, b.MaxWindow)
+		} else if win < minW || win > maxW {
+			res.violatef("control (%s): window setpoint %v outside bounds [%v, %v]", name, win, minW, maxW)
+		}
+		if st.State == control.StateDegraded && st.Setpoints != st.Static {
+			res.violatef("control (%s): degraded but serving %+v instead of the static geometry %+v",
+				name, st.Setpoints, st.Static)
+		}
 	}
 }

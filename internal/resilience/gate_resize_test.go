@@ -1,0 +1,175 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestResizableGateStartsAtConcurrency(t *testing.T) {
+	g := NewResizableGate(2, 8, 4)
+	if g.Capacity() != 2 || g.Limit() != 8 {
+		t.Fatalf("capacity=%d limit=%d, want 2/8", g.Capacity(), g.Limit())
+	}
+	// Exactly 2 concurrent holders fit.
+	ctx := context.Background()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(ctx, 5*time.Millisecond)
+	defer cancel()
+	if err := g.Acquire(short); err == nil {
+		t.Fatal("third acquire succeeded at concurrency 2")
+	}
+	g.Release()
+	g.Release()
+}
+
+func TestNewGateLimitEqualsConcurrency(t *testing.T) {
+	g := NewGate(3, 0)
+	if g.Capacity() != 3 || g.Limit() != 3 {
+		t.Fatalf("capacity=%d limit=%d, want 3/3", g.Capacity(), g.Limit())
+	}
+	if err := g.Resize(context.Background(), 4); err == nil {
+		t.Fatal("fixed gate grew past its limit")
+	}
+}
+
+func TestResizeGrowWakesWaiter(t *testing.T) {
+	g := NewResizableGate(1, 4, 8)
+	ctx := context.Background()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		defer cancel()
+		admitted <- g.Acquire(wctx)
+	}()
+	// Let the waiter queue up, then grow: it must be admitted without
+	// any Release happening.
+	for g.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := g.Resize(ctx, 2); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if err := <-admitted; err != nil {
+		t.Fatalf("waiter not admitted after grow: %v", err)
+	}
+	wg.Wait()
+	if g.Capacity() != 2 {
+		t.Fatalf("capacity = %d, want 2", g.Capacity())
+	}
+	g.Release()
+	g.Release()
+}
+
+func TestResizeShrinkDrainsInsteadOfDropping(t *testing.T) {
+	g := NewResizableGate(3, 4, 0)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := g.Acquire(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		defer cancel()
+		done <- g.Resize(sctx, 1)
+	}()
+	// The shrink must block while all three holders are live.
+	select {
+	case err := <-done:
+		t.Fatalf("shrink completed with 3 holders in flight: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Release()
+	g.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("shrink after releases: %v", err)
+	}
+	wg.Wait()
+	if g.Capacity() != 1 {
+		t.Fatalf("capacity = %d, want 1", g.Capacity())
+	}
+	// The remaining holder's token is the only one: a release then a
+	// single acquire works, a second doesn't.
+	g.Release()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(ctx, 5*time.Millisecond)
+	defer cancel()
+	if err := g.Acquire(short); err == nil {
+		t.Fatal("second acquire succeeded at concurrency 1")
+	}
+	g.Release()
+}
+
+func TestResizeShrinkTimeoutIsAllOrNothing(t *testing.T) {
+	g := NewResizableGate(3, 4, 0)
+	ctx := context.Background()
+	// Hold two of three tokens, then try shrinking to 1 with an already
+	// expired context: only one token is free, so the shrink must fail
+	// AND put the withdrawn token back.
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	expired, cancel := context.WithTimeout(ctx, time.Millisecond)
+	defer cancel()
+	time.Sleep(5 * time.Millisecond)
+	if err := g.Resize(expired, 1); err == nil {
+		t.Fatal("shrink succeeded with holders outstanding and ctx expired")
+	}
+	if g.Capacity() != 3 {
+		t.Fatalf("failed shrink changed capacity to %d", g.Capacity())
+	}
+	// All three tokens must still exist: with the two held released, three
+	// acquires succeed.
+	g.Release()
+	g.Release()
+	for i := 0; i < 3; i++ {
+		if err := g.Acquire(ctx); err != nil {
+			t.Fatalf("acquire %d after failed shrink: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		g.Release()
+	}
+}
+
+func TestResizeValidation(t *testing.T) {
+	g := NewResizableGate(2, 4, 0)
+	ctx := context.Background()
+	if err := g.Resize(ctx, 0); err == nil {
+		t.Fatal("resize to 0 accepted")
+	}
+	if err := g.Resize(ctx, 5); err == nil {
+		t.Fatal("resize past limit accepted")
+	}
+	if err := g.Resize(ctx, 2); err != nil {
+		t.Fatalf("no-op resize: %v", err)
+	}
+	if err := g.Resize(ctx, 4); err != nil {
+		t.Fatalf("grow to limit: %v", err)
+	}
+	if g.Capacity() != 4 {
+		t.Fatalf("capacity = %d, want 4", g.Capacity())
+	}
+}

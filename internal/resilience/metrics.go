@@ -98,6 +98,12 @@ func NewMetrics(ringSize int) *Metrics {
 // ObserveLatency records one successful request's service time.
 func (m *Metrics) ObserveLatency(d time.Duration) { m.lat.Observe(d) }
 
+// LatencyQuantile reads one quantile from the latency ring without
+// assembling a full Snapshot — cheap enough for the control loop and the
+// congestion-derived Retry-After hint to call per decision. Returns 0
+// when no samples have been observed yet.
+func (m *Metrics) LatencyQuantile(q float64) time.Duration { return m.lat.Quantile(q) }
+
 // ObserveLayer records one layer execution from a forward pass. The
 // signature matches exec.Observer, so servers attach it directly to
 // their base execution context.

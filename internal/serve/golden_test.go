@@ -101,6 +101,48 @@ func TestGoldenStatuszFieldSet(t *testing.T) {
 		checkMetrics(t, m)
 	})
 
+	t.Run("autoscaled", func(t *testing.T) {
+		srv := NewWithConfig(testNetwork(t), Config{Replicas: 1, Autoscale: quickAutoscale(2)})
+		ts := httptest.NewServer(srv.Handler())
+		defer closeServer(t, srv)
+		defer ts.Close()
+		m := getStatuszRaw(t, ts.URL)
+		want := []string{"control", "exec", "max_queue", "metrics", "model", "models", "ready", "replicas",
+			"replicas_available", "request_timeout", "uptime", "uptime_seconds", "version"}
+		if got := sortedKeys(m); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("top-level keys:\n got %v\nwant %v", got, want)
+		}
+		ctrl, ok := m["control"].(map[string]any)
+		if !ok {
+			t.Fatalf("control section missing or not an object: %v", m["control"])
+		}
+		ctrlKeys := []string{"actuations", "bounds", "corrupt_ticks", "setpoints", "state", "static", "ticks"}
+		delete(ctrl, "decisions") // tick-dependent omitempty ledger
+		if got := sortedKeys(ctrl); fmt.Sprint(got) != fmt.Sprint(ctrlKeys) {
+			t.Errorf("control keys:\n got %v\nwant %v", got, ctrlKeys)
+		}
+		spKeys := []string{"max_batch", "replicas", "window"}
+		for _, section := range []string{"setpoints", "static"} {
+			sp, ok := ctrl[section].(map[string]any)
+			if !ok {
+				t.Fatalf("control.%s missing or not an object: %v", section, ctrl[section])
+			}
+			if got := sortedKeys(sp); fmt.Sprint(got) != fmt.Sprint(spKeys) {
+				t.Errorf("control.%s keys:\n got %v\nwant %v", section, got, spKeys)
+			}
+		}
+		boundsKeys := []string{"max_batch", "max_replicas", "max_window",
+			"min_batch", "min_replicas", "min_window"}
+		bounds, ok := ctrl["bounds"].(map[string]any)
+		if !ok {
+			t.Fatalf("control.bounds missing or not an object: %v", ctrl["bounds"])
+		}
+		if got := sortedKeys(bounds); fmt.Sprint(got) != fmt.Sprint(boundsKeys) {
+			t.Errorf("control.bounds keys:\n got %v\nwant %v", got, boundsKeys)
+		}
+		checkMetrics(t, m)
+	})
+
 	t.Run("batched", func(t *testing.T) {
 		srv := NewWithConfig(testNetwork(t), Config{Replicas: 1, Batching: true})
 		ts := httptest.NewServer(srv.Handler())

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"bitflow/internal/batch"
+	"bitflow/internal/control"
 	"bitflow/internal/exec"
 	"bitflow/internal/graph"
 	"bitflow/internal/registry"
@@ -60,20 +61,36 @@ type model struct {
 	meta      Meta
 	isDefault bool
 	ready     atomic.Bool
+	// ctrl is the adaptive-serving controller, nil unless cfg.Autoscale
+	// is set. Its Run loop is owned by ServeListener.
+	ctrl *control.Controller
 }
 
 // replicaSet is one version's serving capacity: either a replica pool
 // (unbatched) or a micro-batcher whose workers own the replicas. It is
 // the registry.ReplicaSet payload the swap protocol manages.
 type replicaSet struct {
-	version  string
-	meta     Meta
-	replicas int
+	version string
+	meta    Meta
+	// replicas is the live replica count; atomic because the autoscale
+	// controller resizes it while statusz and the oracle read it.
+	replicas atomic.Int64
 	pool     chan backend
 	batcher  *batch.Batcher
 	// exec is the resolved base execution context shared by this set's
 	// replicas (nil for test backends that don't take one).
 	exec *exec.Ctx
+
+	// resizeMu serializes unbatched pool resizes (batched resizes
+	// serialize inside the batcher).
+	resizeMu sync.Mutex
+	// ref is the dedicated verification backend (autoscaled sets only):
+	// grown replicas are cloned from it and must reproduce refOut on refX
+	// bit-for-bit before they may serve. Guarded by refMu.
+	refMu  sync.Mutex
+	ref    backend
+	refX   *tensor.Tensor
+	refOut []float32
 }
 
 // Version implements registry.ReplicaSet.
@@ -86,11 +103,12 @@ func (rs *replicaSet) Retire(ctx context.Context) error {
 	if rs.batcher != nil {
 		return rs.batcher.Close(ctx)
 	}
-	for i := 0; i < rs.replicas; i++ {
+	n := rs.Replicas()
+	for i := 0; i < n; i++ {
 		select {
 		case <-rs.pool:
 		default:
-			return fmt.Errorf("serve: retiring %s: only %d/%d replicas returned", rs.version, i, rs.replicas)
+			return fmt.Errorf("serve: retiring %s: only %d/%d replicas returned", rs.version, i, n)
 		}
 	}
 	return nil
@@ -101,7 +119,7 @@ func (rs *replicaSet) available() int {
 	if rs.batcher != nil {
 		// Batch workers never die (a panicked runner is replaced), so
 		// the replica count is also the available count.
-		return rs.replicas
+		return rs.Replicas()
 	}
 	return len(rs.pool)
 }
@@ -145,7 +163,8 @@ func (rs *replicaSet) selfCheck(ctx context.Context, x *tensor.Tensor, want []fl
 // must already have defaults applied. It allocates and clones but never
 // runs inference — verification is the caller's ladder.
 func buildReplicaSet(version string, meta Meta, first backend, cfg Config, metrics *resilience.Metrics) (*replicaSet, error) {
-	rs := &replicaSet{version: version, meta: meta, replicas: cfg.Replicas}
+	rs := &replicaSet{version: version, meta: meta}
+	rs.replicas.Store(int64(cfg.Replicas))
 	// Attach the shared execution context (pool + budget + layer-stats
 	// observer) before cloning so the first backend — and every clone
 	// taken from it below — dispatches onto the same pool.
@@ -154,17 +173,35 @@ func buildReplicaSet(version string, meta Meta, first backend, cfg Config, metri
 	} else {
 		rs.exec = cfg.Exec
 	}
+	// Autoscaled sets keep a dedicated reference backend aside: resize
+	// growth clones from it and verifies against its logits, without
+	// ever competing with traffic for a pooled replica.
+	if cfg.Autoscale != nil {
+		rs.ref = first.clone()
+	}
+	// Queue, pool, and batch buffers are provisioned for the autoscale
+	// ceiling up front, so growth is a token-count change, never a
+	// reallocation under load.
+	poolCap, prep := cfg.Replicas, cfg.MaxBatch
+	queueCap := gateCapacity(cfg) + cfg.MaxQueue
+	if ac := cfg.Autoscale; ac != nil {
+		poolCap = ac.MaxReplicas
+		queueCap = maxGateCapacity(cfg) + cfg.MaxQueue
+		if cfg.Batching {
+			prep = ac.MaxBatch
+		}
+	}
 	if cfg.Batching {
 		// The batch workers own the backends: worker i gets the i-th
 		// replica (lane pools pre-grown to MaxBatch), and a worker whose
 		// runner panicked gets a fresh clone from the factory.
 		var mu sync.Mutex
 		handedFirst := false
-		b, err := batch.New(batch.Config{
+		bcfg := batch.Config{
 			Window:   cfg.BatchWindow,
 			MaxBatch: cfg.MaxBatch,
 			Workers:  cfg.Replicas,
-			QueueCap: gateCapacity(cfg) + cfg.MaxQueue,
+			QueueCap: queueCap,
 			Metrics:  metrics,
 			NewRunner: func() (batch.Runner, error) {
 				mu.Lock()
@@ -175,18 +212,22 @@ func buildReplicaSet(version string, meta Meta, first backend, cfg Config, metri
 				}
 				handedFirst = true
 				if bp, ok := bk.(batchPreparer); ok {
-					bp.prepareBatch(cfg.MaxBatch)
+					bp.prepareBatch(prep)
 				}
 				return backendRunner{b: bk}, nil
 			},
-		})
+		}
+		if cfg.Autoscale != nil {
+			bcfg.VerifyRunner = func(r batch.Runner) error { return rs.verifyRunner(r.InferBatch) }
+		}
+		b, err := batch.New(bcfg)
 		if err != nil {
 			return nil, fmt.Errorf("serve: building batcher for %s: %w", version, err)
 		}
 		rs.batcher = b
 		return rs, nil
 	}
-	rs.pool = make(chan backend, cfg.Replicas)
+	rs.pool = make(chan backend, poolCap)
 	rs.pool <- first
 	for i := 1; i < cfg.Replicas; i++ {
 		rs.pool <- first.clone()
@@ -280,9 +321,14 @@ func orBoot(version string) string {
 // warm-up that arms readiness, and registers it.
 func (s *Server) addModel(name, version string, meta Meta, first backend, cfg Config) (*model, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Autoscale != nil {
+		if err := cfg.Autoscale.validate(cfg); err != nil {
+			return nil, fmt.Errorf("%w (model %q)", err, name)
+		}
+	}
 	meta.Replicas = cfg.Replicas
 	metrics := resilience.NewMetrics(1024)
-	gate := resilience.NewGate(gateCapacity(cfg), cfg.MaxQueue)
+	gate := resilience.NewResizableGate(gateCapacity(cfg), gateLimit(cfg), cfg.MaxQueue)
 	m := &model{name: name, cfg: cfg, meta: meta}
 	// Warm up on the first backend before it enters the pool (or the
 	// batch workers take ownership): a model that cannot infer must
@@ -297,6 +343,31 @@ func (s *Server) addModel(name, version string, meta Meta, first backend, cfg Co
 		return nil, err
 	}
 	m.rm = registry.NewModel(name, gate, metrics, rs)
+	if ac := cfg.Autoscale; ac != nil {
+		ctrl, err := control.New(control.Config{
+			Model:        name,
+			Bounds:       ac.bounds(),
+			Static:       staticSetpoints(cfg),
+			Batching:     cfg.Batching,
+			Interval:     ac.Interval,
+			HighLoad:     ac.HighLoad,
+			LowLoad:      ac.LowLoad,
+			Cooldown:     ac.Cooldown,
+			CorruptLimit: ac.CorruptLimit,
+			RecoverAfter: ac.RecoverAfter,
+			LedgerSize:   ac.LedgerSize,
+			Source:       m.signals,
+			// Apply bounds its own drain waits past the request deadline:
+			// every in-flight holder either finishes or sheds within
+			// RequestTimeout, so a shrink that cannot complete by then is
+			// stuck, not draining.
+			Actuator: &modelActuator{m: m, timeout: cfg.RequestTimeout + 5*time.Second},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: autoscale %q: %w", name, err)
+		}
+		m.ctrl = ctrl
+	}
 	if err := s.reg.Add(m.rm); err != nil {
 		return nil, err
 	}
@@ -371,6 +442,8 @@ func (s *Server) IntrospectModel(name string) (Introspection, error) {
 	}
 	if rs := m.currentSet(); rs != nil {
 		in.PoolAvailable = rs.available()
+		// The live count — under autoscaling it drifts from cfg.Replicas.
+		in.Replicas = rs.Replicas()
 	}
 	return in, nil
 }
@@ -401,8 +474,22 @@ func (s *Server) ReloadModel(ctx context.Context, name string, art *registry.Art
 				cur.meta.InputH, cur.meta.InputW, cur.meta.InputC, cur.meta.Classes)
 		}
 	}
+	// Build the candidate at the LIVE geometry: under autoscaling the
+	// controller's setpoints — not the boot flags — describe the gate
+	// capacity and worker count the candidate must match when it flips in.
+	// (A resize landing between this read and the swap is reconciled by
+	// the controller's next tick, which compares the served set against
+	// its setpoints and re-actuates.)
+	cfg := m.cfg
+	if m.ctrl != nil {
+		sp := m.ctrl.Setpoints()
+		cfg.Replicas = sp.Replicas
+		if cfg.Batching {
+			cfg.BatchWindow, cfg.MaxBatch = sp.Window, sp.MaxBatch
+		}
+	}
 	meta := metaFromNetwork(art.Net)
-	meta.Replicas = m.cfg.Replicas
+	meta.Replicas = cfg.Replicas
 
 	// Build the candidate set under Safe: a crash while cloning replicas
 	// or starting batch workers must surface as a reload error, never
@@ -412,7 +499,7 @@ func (s *Server) ReloadModel(ctx context.Context, name string, art *registry.Art
 		buildErr  error
 	)
 	if perr := resilience.Safe(func() {
-		candidate, buildErr = buildReplicaSet(art.Version, meta, netBackend{net: art.Net}, m.cfg, m.rm.Metrics())
+		candidate, buildErr = buildReplicaSet(art.Version, meta, netBackend{net: art.Net}, cfg, m.rm.Metrics())
 	}); perr != nil {
 		buildErr = perr
 	}
@@ -463,12 +550,17 @@ type ReloadResponse struct {
 
 // AdminHandler returns the operator endpoint tree:
 //
-//	POST /admin/reload → {"model","path","version"?} — load, verify, and
-//	                     atomically swap; 200 on swap, 422 with the
-//	                     rollback status on any verification failure.
-//	GET  /admin/models → per-model reload ledger.
+//	POST /admin/reload    → {"model","path","version"?} — load, verify,
+//	                        and atomically swap; 200 on swap, 422 with
+//	                        the rollback status on any verification
+//	                        failure.
+//	GET  /admin/models    → per-model reload ledger.
+//	GET  /admin/autoscale → per-model controller state (autoscaled only).
+//	POST /admin/autoscale → {"model","action":"pin"|"unpin",...} — pin
+//	                        setpoints or resume adaptation.
 func (s *Server) AdminHandler(load ArtifactLoader) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/admin/autoscale", s.handleAdminAutoscale)
 	mux.HandleFunc("/admin/reload", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", "POST")

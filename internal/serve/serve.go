@@ -35,10 +35,12 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"bitflow/internal/batch"
+	"bitflow/internal/control"
 	"bitflow/internal/exec"
 	"bitflow/internal/faultinject"
 	"bitflow/internal/graph"
@@ -81,6 +83,14 @@ type Config struct {
 	// context from the network's Threads field on the process-wide
 	// default pool (the legacy behavior).
 	Exec *exec.Ctx
+
+	// Autoscale, when non-nil, runs the adaptive serving loop for this
+	// model: a per-model controller retunes batch window, max-batch, and
+	// replica count within the declared bounds (see AutoscaleConfig).
+	// The Replicas/BatchWindow/MaxBatch fields above become the STATIC
+	// geometry: the starting point, and the configuration the controller
+	// reverts to if its signal source degrades.
+	Autoscale *AutoscaleConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +116,12 @@ func (c Config) withDefaults() Config {
 		if c.MaxBatch <= 0 {
 			c.MaxBatch = 8
 		}
+	}
+	if c.Autoscale != nil {
+		// Derive unset bounds from the (now-defaulted) static geometry;
+		// a fresh pointer so the caller's struct is never mutated.
+		ac := c.Autoscale.withDefaults(c)
+		c.Autoscale = &ac
 	}
 	return c
 }
@@ -244,6 +260,7 @@ type Statusz struct {
 	MaxQueue          int                    `json:"max_queue"`
 	RequestTimeout    string                 `json:"request_timeout"`
 	Batch             *BatchStatus           `json:"batch,omitempty"`
+	Control           *control.Status        `json:"control,omitempty"`
 	Exec              *ExecStatus            `json:"exec,omitempty"`
 	Metrics           resilience.Snapshot    `json:"metrics"`
 	Models            map[string]ModelStatus `json:"models"`
@@ -264,7 +281,10 @@ type ModelStatus struct {
 	Rollbacks         int64                  `json:"rollbacks"`
 	LastReload        *registry.ReloadStatus `json:"last_reload,omitempty"`
 	Batch             *BatchStatus           `json:"batch,omitempty"`
-	Metrics           resilience.Snapshot    `json:"metrics"`
+	// Control is the adaptive-serving section: state, live setpoints,
+	// bounds, and the decision ledger. Present only when autoscaled.
+	Control *control.Status     `json:"control,omitempty"`
+	Metrics resilience.Snapshot `json:"metrics"`
 }
 
 // ExecStatus is the /statusz execution-layer section: the shared pool's
@@ -429,17 +449,31 @@ func (s *Server) modelStatus(m *model) ModelStatus {
 	metrics.QueueDepth.Store(m.rm.Gate().Waiting())
 	metrics.InFlight.Store(m.rm.Gate().Held())
 	snap := metrics.Snapshot()
+	// Under autoscaling, report the LIVE geometry — the controller's
+	// setpoints — not the static boot flags.
+	replicas, window, maxBatch := m.cfg.Replicas, m.cfg.BatchWindow, m.cfg.MaxBatch
+	var ctrlStatus *control.Status
+	if m.ctrl != nil {
+		sp := m.ctrl.Setpoints()
+		replicas = sp.Replicas
+		if m.cfg.Batching {
+			window, maxBatch = sp.Window, sp.MaxBatch
+		}
+		cs := m.ctrl.Status()
+		ctrlStatus = &cs
+	}
 	ms := ModelStatus{
 		Name:           m.name,
 		Version:        m.rm.Version(),
 		Ready:          m.ready.Load(),
 		Default:        m.isDefault,
-		Replicas:       m.cfg.Replicas,
+		Replicas:       replicas,
 		MaxQueue:       m.cfg.MaxQueue,
 		RequestTimeout: m.cfg.RequestTimeout.String(),
 		Swaps:          m.rm.Swaps(),
 		Rollbacks:      m.rm.Rollbacks(),
 		LastReload:     m.rm.LastReload(),
+		Control:        ctrlStatus,
 		Metrics:        snap,
 	}
 	if rs := m.currentSet(); rs != nil {
@@ -447,8 +481,8 @@ func (s *Server) modelStatus(m *model) ModelStatus {
 	}
 	if m.cfg.Batching {
 		ms.Batch = &BatchStatus{
-			Window:             m.cfg.BatchWindow.String(),
-			MaxBatch:           m.cfg.MaxBatch,
+			Window:             window.String(),
+			MaxBatch:           maxBatch,
 			Batches:            snap.Batches,
 			MeanOccupancy:      snap.BatchMeanOccupancy,
 			MaxOccupancy:       snap.BatchMaxOccupancy,
@@ -477,6 +511,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		MaxQueue:          def.MaxQueue,
 		RequestTimeout:    def.RequestTimeout,
 		Batch:             def.Batch,
+		Control:           def.Control,
 		Metrics:           def.Metrics,
 		Models:            models,
 	}
@@ -616,14 +651,16 @@ func (s *Server) infer(w http.ResponseWriter, r *http.Request, m *model) {
 	gate := m.rm.Gate()
 	if err := gate.Acquire(ctx); err != nil {
 		metrics.Shed.Add(1)
+		// Both outcomes are congestion, so Retry-After is derived from the
+		// live queue depth and the observed service rate, not a constant.
 		switch {
 		case errors.Is(err, resilience.ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfter(m))
 			writeError(w, http.StatusTooManyRequests, "queue_full",
 				fmt.Sprintf("admission queue full (%d waiting, %d allowed); retry later",
 					gate.Waiting(), m.cfg.MaxQueue))
 		default: // deadline expired or client went away while queued
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfter(m))
 			writeError(w, http.StatusServiceUnavailable, "deadline",
 				fmt.Sprintf("deadline expired after %s waiting for a replica", m.cfg.RequestTimeout))
 		}
@@ -689,7 +726,7 @@ func (s *Server) infer(w http.ResponseWriter, r *http.Request, m *model) {
 		// taxonomy as a deadline that expires in the queue.
 		if errors.Is(inferErr, context.DeadlineExceeded) || errors.Is(inferErr, context.Canceled) {
 			metrics.Shed.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfter(m))
 			writeError(w, http.StatusServiceUnavailable, "deadline",
 				fmt.Sprintf("request cancelled mid-inference: %v", inferErr))
 			return
@@ -734,7 +771,7 @@ func (s *Server) inferBatched(w http.ResponseWriter, ctx context.Context, m *mod
 				fmt.Sprintf("inference failed: %v", pe))
 		case errors.Is(err, batch.ErrQueueFull):
 			metrics.Shed.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfter(m))
 			writeError(w, http.StatusTooManyRequests, "queue_full", "batch queue full; retry later")
 		case errors.Is(err, batch.ErrClosed):
 			metrics.Shed.Add(1)
@@ -742,7 +779,7 @@ func (s *Server) inferBatched(w http.ResponseWriter, ctx context.Context, m *mod
 			writeError(w, http.StatusServiceUnavailable, "not_ready", "server is draining")
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 			metrics.Shed.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfter(m))
 			writeError(w, http.StatusServiceUnavailable, "deadline",
 				fmt.Sprintf("deadline expired after %s waiting for a batch slot", m.cfg.RequestTimeout))
 		case errors.As(err, &ie):
@@ -824,13 +861,38 @@ func (s *Server) ServeListener(ctx context.Context, l net.Listener, hc HTTPConfi
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(l) }()
 
+	// Start each autoscaled model's control loop. The controllers stop —
+	// and their in-flight actuation contexts cancel — before the models
+	// close, so a drain never races a resize.
+	cctx, stopControllers := context.WithCancel(context.Background())
+	var cwg sync.WaitGroup
+	for _, m := range s.order {
+		if m.ctrl == nil {
+			continue
+		}
+		ctrl := m.ctrl
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			ctrl.Run(cctx)
+		}()
+	}
+	haltControl := func() {
+		stopControllers()
+		cwg.Wait()
+	}
+
 	select {
 	case err := <-errc:
+		haltControl()
 		return err
 	case <-ctx.Done():
 		// Flip readiness first so health-checked balancers drain us, then
-		// let in-flight requests finish inside the grace window.
+		// let in-flight requests finish inside the grace window. The
+		// controllers stop first: setpoints freeze where they are, and no
+		// new resize can start while models retire.
 		s.draining.Store(true)
+		haltControl()
 		sctx, cancel := context.WithTimeout(context.Background(), hc.ShutdownGrace)
 		defer cancel()
 		err := hs.Shutdown(sctx)

@@ -14,13 +14,13 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== bitflow-vet ./... (repo invariants: rawgo threadsint hotalloc panicpath)"
+echo "== bitflow-vet ./... (repo invariants: rawgo threadsint hotalloc panicpath actuate)"
 go run ./cmd/bitflow-vet ./...
 
 echo "== go test -shuffle=on $* ./..."
 go test -shuffle=on "$@" ./...
 
-echo "== go test -race -shuffle=on ./internal/exec/... ./internal/serve/... ./internal/resilience/... ./internal/batch/... ./internal/core/... ./internal/faultinject/... ./internal/registry/..."
-go test -race -shuffle=on ./internal/exec/... ./internal/serve/... ./internal/resilience/... ./internal/batch/... ./internal/core/... ./internal/faultinject/... ./internal/registry/...
+echo "== go test -race -shuffle=on ./internal/exec/... ./internal/serve/... ./internal/resilience/... ./internal/batch/... ./internal/core/... ./internal/faultinject/... ./internal/registry/... ./internal/control/..."
+go test -race -shuffle=on ./internal/exec/... ./internal/serve/... ./internal/resilience/... ./internal/batch/... ./internal/core/... ./internal/faultinject/... ./internal/registry/... ./internal/control/...
 
 echo "verify: OK"
