@@ -151,6 +151,8 @@ func modelNetworkTime(timings []graph.LayerTiming, p int) time.Duration {
 		case "fc":
 			serial, mem = 0.005, 0.10
 		default:
+			// conv and fused conv+pool nodes: XOR+popcount dominated, the
+			// fused pool epilogue adds no extra memory-bound phase.
 			serial, mem = 0.005, 0.04
 		}
 		m := bench.ScalingModel{Units: l.Units, SerialFrac: serial, MemBoundFrac: mem}

@@ -11,6 +11,7 @@
 //	bitflow-bench sweep   # extension: kernel-tier sweep over channel counts
 //	bitflow-bench batch   # extension: micro-batching throughput → BENCH_batch.json
 //	bitflow-bench exec    # extension: spawn-per-call vs pooled dispatch → BENCH_exec.json
+//	bitflow-bench ops     # extension: fused vs unfused conv+pool data-flow → BENCH_fusion.json
 //	bitflow-bench all     # everything above
 //
 // Flags:
@@ -40,7 +41,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bitflow-bench [flags] {fig7|fig8|fig9|fig10|fig11|table5|ait|sweep|batch|exec|autoscale|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: bitflow-bench [flags] {fig7|fig8|fig9|fig10|fig11|table5|ait|sweep|batch|exec|ops|autoscale|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -78,6 +79,8 @@ func main() {
 		run("batch", runBatchBench)
 	case "exec":
 		run("exec", runExecBench)
+	case "ops":
+		run("ops", runFusionBench)
 	case "autoscale":
 		run("autoscale", runAutoscaleBench)
 	case "all":
@@ -88,6 +91,7 @@ func main() {
 			{"ait", runAIT}, {"fig7", runFig7}, {"fig8", runFig8}, {"fig9", runFig9},
 			{"fig10", runFig10}, {"fig11", runFig11}, {"table5", runTable5},
 			{"sweep", runSweep}, {"batch", runBatchBench}, {"exec", runExecBench},
+			{"ops", runFusionBench},
 		} {
 			run(sub.name, sub.f)
 		}

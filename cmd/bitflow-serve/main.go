@@ -36,6 +36,12 @@
 // section for the live setpoints and decision ledger; pin setpoints via
 // POST /admin/autoscale on -admin-addr).
 //
+// Loaded models run the fused conv+pool data-flow plan (see DESIGN.md
+// §11); the startup banner reports the fused pair count per model, and
+// /model exposes it as "fused_layers". -no-fuse serves the unfused
+// layer-per-node plan for fused-vs-unfused diagnosis — logits are
+// bit-identical either way.
+//
 // Thread sizing: all replicas dispatch onto ONE persistent worker pool of
 // -threads-total workers, and each inference uses at most -threads of
 // them. When replicas × -threads exceeds the machine's cores the server
@@ -83,6 +89,9 @@ var (
 	flagBatch       = flag.Bool("batch", false, "enable dynamic micro-batching (trades up to -batch-window of latency for throughput)")
 	flagBatchWindow = flag.Duration("batch-window", 2*time.Millisecond, "max wait for a batch to fill before dispatching (with -batch)")
 	flagMaxBatch    = flag.Int("max-batch", 8, "max requests coalesced into one forward pass (with -batch)")
+
+	flagNoFuse = flag.Bool("no-fuse", false,
+		"serve the unfused layer-per-node plan instead of fusing eligible conv+pool pairs (diagnostic: logits are bit-identical, throughput and memory are worse)")
 
 	flagMaxQueue       = flag.Int("max-queue", 0, "max requests waiting for a replica before shedding with 429 (0 = 4×replicas, min 16)")
 	flagRequestTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline; expired queued requests get 503")
@@ -152,6 +161,17 @@ func clampThreads(threads, maxReplicas int) int {
 	return clamped
 }
 
+// maybeUnfuse applies the -no-fuse diagnostic plan to a freshly loaded
+// network. Every load path — boot, SIGHUP manifest reload, admin reload
+// — funnels through here, so the flag stays in force for the process
+// lifetime and replicas cloned off the network inherit the plan.
+func maybeUnfuse(net *graph.Network) *graph.Network {
+	if *flagNoFuse {
+		return net.CloneUnfused()
+	}
+	return net
+}
+
 // reloadTimeout bounds one swap: verification plus draining the old
 // replica set, which waits on in-flight requests.
 func reloadTimeout() time.Duration {
@@ -181,6 +201,7 @@ func applyManifest(srv *serve.Server, man *registry.Manifest, prev map[string]re
 			fmt.Fprintf(os.Stderr, "bitflow-serve: reload %s: %v\n", e.Name, err)
 			continue
 		}
+		art.Net = maybeUnfuse(art.Net)
 		ctx, cancel := context.WithTimeout(context.Background(), reloadTimeout())
 		st, err := srv.ReloadModel(ctx, e.Name, art)
 		cancel()
@@ -241,7 +262,7 @@ func main() {
 			}
 			specs = append(specs, serve.ModelSpec{
 				Name:    e.Name,
-				Net:     art.Net,
+				Net:     maybeUnfuse(art.Net),
 				Version: art.Version,
 				Cfg:     entryConfig(e, base),
 				Default: e.Default,
@@ -271,7 +292,7 @@ func main() {
 			fatalf("%v", err)
 		}
 		threads = clampThreads(threads, effectiveMaxReplicas(*flagReplicas))
-		srv = serve.NewWithConfig(net, flagConfig(exec.Pooled(pool, threads)))
+		srv = serve.NewWithConfig(maybeUnfuse(net), flagConfig(exec.Pooled(pool, threads)))
 	}
 	if !srv.Ready() {
 		fmt.Fprintln(os.Stderr, "bitflow-serve: warm-up inference failed; serving anyway, /readyz stays 503")
@@ -307,7 +328,12 @@ func main() {
 		admin := &http.Server{
 			Addr: *flagAdmin,
 			Handler: srv.AdminHandler(func(path, version string) (*registry.Artifact, error) {
-				return registry.LoadArtifact(path, version, feat)
+				art, err := registry.LoadArtifact(path, version, feat)
+				if err != nil {
+					return nil, err
+				}
+				art.Net = maybeUnfuse(art.Net)
+				return art, nil
 			}),
 			ReadTimeout: *flagReadTimeout,
 			IdleTimeout: *flagIdleTimeout,
@@ -322,6 +348,9 @@ func main() {
 		defer admin.Close()
 	}
 
+	if *flagNoFuse {
+		fmt.Println("fusion disabled by -no-fuse: serving the layer-per-node plan (diagnostic mode)")
+	}
 	for _, name := range srv.Models() {
 		ins, err := srv.IntrospectModel(name)
 		if err != nil {
@@ -329,6 +358,10 @@ func main() {
 		}
 		fmt.Printf("serving model %q version %s on %s with %d replica(s), queue %d\n",
 			name, ins.Version, *flagAddr, ins.Replicas, ins.GateMaxQueue)
+		if mm, err := srv.ModelMeta(name); err == nil && mm.FusedLayers > 0 {
+			fmt.Printf("fusion %q: %d conv+pool pair(s) run as fused packed-bit epilogues (-no-fuse to split)\n",
+				name, mm.FusedLayers)
+		}
 		if st := srv.ControlStatus(name); st != nil {
 			fmt.Printf("autoscale %q: replicas [%d, %d], max-batch [%d, %d], window [%s, %s]\n",
 				name, st.Bounds.MinReplicas, st.Bounds.MaxReplicas,

@@ -22,11 +22,12 @@
 // Intentional exceptions are annotated in the source, never configured
 // out of the analyzer:
 //
-//	//bitflow:alloc-ok <justification>   (hotalloc)
+//	//bitflow:alloc-ok <justification>   (hotalloc, fusion)
 //	//bitflow:go-ok <justification>      (rawgo)
 //	//bitflow:panic-ok <justification>   (panicpath)
 //	//bitflow:actuate-ok <justification> (actuate)
-//	//bitflow:hot                        (extra hotalloc root)
+//	//bitflow:fusion-ok <justification>  (fusion)
+//	//bitflow:hot                        (extra hotalloc/fusion root)
 //
 // A marker with an empty justification is itself a finding.
 package analysis
@@ -90,7 +91,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{RawGo, ThreadsInt, HotAlloc, PanicPath, Actuate}
+	return []*Analyzer{RawGo, ThreadsInt, HotAlloc, PanicPath, Actuate, Fusion}
 }
 
 // Run executes the given analyzers and returns their findings sorted by

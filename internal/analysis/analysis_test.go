@@ -113,6 +113,21 @@ func TestHotAllocFixture(t *testing.T) {
 	checkFixture(t, "fixture/internal/core", "testdata/hotalloc")
 }
 
+func TestFusionFixture(t *testing.T) {
+	findings := checkFixture(t, "fixture/internal/core", "testdata/fusion")
+	// The bare //bitflow:fusion-ok must surface as a bad annotation, not
+	// a generic float-intermediate finding.
+	found := false
+	for _, f := range findings {
+		if strings.Contains(f.Message, "fusion-ok needs a justification") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("bare //bitflow:fusion-ok was not reported as an unjustified annotation")
+	}
+}
+
 func TestPanicPathFixture(t *testing.T) {
 	findings := checkFixture(t, "fixture/internal/serve", "testdata/panicpath")
 	// The bare //bitflow:panic-ok must be reported as a bad annotation,

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Fusion guards the fused binarization data-flow invariant: everything
+// reachable from a ForwardFused* entry point stays allocation-free (the
+// fused epilogue exists to *remove* intermediate traffic, so a stray
+// make/append would defeat it silently), and neither the fused graph nor
+// any //bitflow:hot function may materialize a float tensor — the whole
+// point of conv → threshold → binarize → pool fusion is that activations
+// between fusable layers exist only as packed bits.
+//
+// Roots: every function whose name starts with "ForwardFused", plus
+// (tensor-construction check only) every //bitflow:hot function.
+// Boundaries mirror hotalloc: Ensure*/Clone are the sanctioned
+// allocation points. //bitflow:alloc-ok excuses a deliberate allocation
+// (shared with hotalloc, so one annotation covers both reports);
+// //bitflow:fusion-ok <reason> excuses a deliberate float-tensor
+// construction.
+var Fusion = &Analyzer{
+	Name: "fusion",
+	Doc:  "fused forward graph must stay allocation-free and packed-bit only (no float tensor intermediates)",
+	Run:  runFusion,
+}
+
+func runFusion(p *Program) []Finding {
+	g := p.graph()
+	var roots []*funcNode
+	for _, n := range g.nodes {
+		if strings.HasPrefix(n.name(), "ForwardFused") {
+			roots = append(roots, n)
+		}
+	}
+	boundary := func(n *funcNode) bool {
+		name := n.name()
+		return strings.HasPrefix(name, "Ensure") || name == "Clone"
+	}
+	reached := g.reach(roots, reachOpts{boundary: boundary})
+
+	var out []Finding
+	for _, n := range g.nodes {
+		if boundary(n) {
+			continue
+		}
+		if reached[n] {
+			out = append(out, scanAllocsAs(p, n, "fusion")...)
+			out = append(out, scanTensorConstruction(p, n)...)
+			continue
+		}
+		// Hot-annotated functions outside the fused graph still may not
+		// materialize float tensors between layers.
+		if n.decl != nil && p.directiveFor(n.decl.Pos(), "hot") != nil {
+			out = append(out, scanTensorConstruction(p, n)...)
+		}
+	}
+	return out
+}
+
+// scanTensorConstruction flags sites that materialize a float tensor:
+// calls into internal/tensor constructors (tensor.New, NewMatrix, …) and
+// composite literals of internal/tensor types.
+func scanTensorConstruction(p *Program, n *funcNode) []Finding {
+	info := n.pkg.Info
+	var out []Finding
+	flag := func(node ast.Node, what string) {
+		out = append(out, p.excusable("fusion", node.Pos(), "fusion-ok",
+			what+" materializes a float intermediate on a fused/hot path; keep the data-flow packed-bit or annotate //bitflow:fusion-ok <reason>")...)
+	}
+	ast.Inspect(n.body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			// Failure path: tensor construction feeding a panic argument
+			// (e.g. formatting a shape mismatch) never runs on success.
+			if isBuiltin(info, x, "panic") {
+				return false
+			}
+			if fn := calleeFunc(info, x); fn != nil && fn.Pkg() != nil &&
+				pathSuffix(fn.Pkg().Path(), "internal/tensor") &&
+				strings.HasPrefix(fn.Name(), "New") {
+				flag(x, "tensor."+fn.Name()+" call")
+			}
+		case *ast.CompositeLit:
+			if t := info.Types[x].Type; t != nil && isTensorNamed(t) {
+				flag(x, types.TypeString(t, types.RelativeTo(n.pkg.Types))+" literal")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isTensorNamed reports whether t is a named type declared in
+// internal/tensor (Tensor, Matrix, Filter).
+func isTensorNamed(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && pathSuffix(obj.Pkg().Path(), "internal/tensor")
+}

@@ -68,10 +68,17 @@ func hotRoot(p *Program, n *funcNode) bool {
 // scanAllocs reports allocation sites lexically inside one node's body
 // (nested literals are their own nodes and are scanned when reached).
 func scanAllocs(p *Program, n *funcNode) []Finding {
+	return scanAllocsAs(p, n, "hotalloc")
+}
+
+// scanAllocsAs is scanAllocs reporting under the given analyzer name —
+// the fusion rule reuses the sweep (and the alloc-ok escape hatch) over
+// its own root set.
+func scanAllocsAs(p *Program, n *funcNode, analyzer string) []Finding {
 	info := n.pkg.Info
 	var out []Finding
 	flag := func(pos_ ast.Node, what string) {
-		out = append(out, p.excusable("hotalloc", pos_.Pos(), "alloc-ok",
+		out = append(out, p.excusable(analyzer, pos_.Pos(), "alloc-ok",
 			what+" on per-inference hot path; pre-allocate at load/Ensure* time or annotate //bitflow:alloc-ok <reason>")...)
 	}
 	ast.Inspect(n.body, func(node ast.Node) bool {

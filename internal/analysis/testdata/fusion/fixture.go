@@ -1,0 +1,70 @@
+// Package fusion is a seeded-violation fixture loaded under the fake
+// import path "fixture/internal/core". ForwardFused* functions root the
+// fusion rule: their call graph must be allocation-free and must never
+// materialize a float tensor — the fused data-flow exists to keep
+// inter-layer activations packed-bit only.
+package fusion
+
+import "bitflow/internal/tensor"
+
+type op struct{ k int }
+
+// ForwardFused is a fusion root by name.
+func (o *op) ForwardFused(in, out []uint64) {
+	if len(out) == 0 {
+		// Failure path: constructions feeding a panic argument are never
+		// executed on a successful pass and must not be flagged.
+		panic(tensor.New(1, 1, o.k))
+	}
+	tmp := make([]int32, o.k) // want:fusion
+	_ = tmp
+	plane := tensor.New(2, 2, o.k) // want:fusion
+	_ = plane
+	helper(o.k)
+	scratch := EnsureScratch(o.k) // boundary call: Ensure* allocation is sanctioned
+	_ = scratch
+	excused := make([]int32, o.k) //bitflow:alloc-ok fixture: deliberate, justified scratch shared with hotalloc's escape hatch
+	_ = excused
+}
+
+// helper is reached transitively from ForwardFused: its float-tensor
+// literal is on the fused graph too.
+func helper(k int) {
+	t := tensor.Tensor{H: 1, W: 1, C: k} // want:fusion
+	_ = t
+}
+
+// EnsureScratch is a boundary: its allocation is the sanctioned kind.
+func EnsureScratch(n int) []int32 {
+	return make([]int32, n)
+}
+
+// hotFloat is hot-annotated but outside any fused graph: hotalloc owns
+// its allocations, fusion still forbids its float-tensor constructions.
+//
+//bitflow:hot
+func hotFloat(k int) {
+	buf := make([]float32, k) // want:hotalloc
+	_ = buf
+	t := tensor.New(1, 1, k) // want:fusion
+	_ = t
+	pt := &tensor.Tensor{H: 1, W: 1, C: k} // want:hotalloc,fusion
+	_ = pt
+}
+
+// coldPath is reachable from no fused or hot root: float tensors are
+// perfectly fine on build-time paths.
+func coldPath(k int) *tensor.Tensor {
+	return tensor.New(4, 4, k)
+}
+
+// ForwardFusedExcused carries the escape hatch: a justified marker
+// excuses a deliberate float materialization (e.g. a debug tap); a bare
+// one is itself a finding.
+func (o *op) ForwardFusedExcused(out []uint64) {
+	dbg := tensor.New(1, 1, o.k) //bitflow:fusion-ok fixture: deliberate, justified debug tap
+	_ = dbg
+	//bitflow:fusion-ok
+	bare := tensor.New(1, 1, o.k) // want:fusion
+	_ = bare
+}

@@ -45,19 +45,19 @@ func (cv *Conv) ForwardPackedBatch(ins, outs []*bitpack.Packed, ec *exec.Ctx) {
 	}
 	rowLen := cv.rowLen
 	S := s.KH * rowLen // gathered receptive-field words per image
-	outWPP := outs[0].WPP
+	packWPP := bitpack.WordsFor(s.K)
 	kernel := kernels.BatchForWidth(cv.Plan.Width)
 	fw := cv.filter.Words
 	n32 := int32(cv.validLanes)
-	act := cv.act
+	epi := cv.epi
 	total := s.OutH * s.OutW
 	ec.ParallelFor(total, func(start, end int) {
 		// Per-worker scratch: gathered inputs (image-major, S words each),
 		// one accumulator per image, and the packed output words of the
 		// current pixel for every image.
-		gather := make([]uint64, B*S)    //bitflow:alloc-ok per-worker scratch, amortized over the whole batch
-		accs := make([]int32, B)         //bitflow:alloc-ok per-worker scratch, amortized over the whole batch
-		outW := make([]uint64, B*outWPP) //bitflow:alloc-ok per-worker scratch, amortized over the whole batch
+		gather := make([]uint64, B*S)     //bitflow:alloc-ok per-worker scratch, amortized over the whole batch
+		accs := make([]int32, B)          //bitflow:alloc-ok per-worker scratch, amortized over the whole batch
+		outW := make([]uint64, B*packWPP) //bitflow:alloc-ok per-worker scratch, amortized over the whole batch
 		for idx := start; idx < end; idx++ {
 			y := idx / s.OutW
 			x := idx % s.OutW
@@ -71,25 +71,93 @@ func (cv *Conv) ForwardPackedBatch(ins, outs []*bitpack.Packed, ec *exec.Ctx) {
 					copy(dst[i*rowLen:(i+1)*rowLen], w[off:off+rowLen])
 				}
 			}
-			clear(outW)
-			for k := 0; k < s.K; k++ {
-				base := k * S
-				kernel(gather, fw[base:base+S:base+S], accs)
-				wi := k / bitpack.WordBits
-				mask := uint64(1) << uint(k%bitpack.WordBits)
-				for b := 0; b < B; b++ {
-					d := n32 - 2*accs[b]
-					on := d >= 0 // sign activation, Equation 3
-					if act != nil {
-						on = act.bit(k, d) // folded batch-norm / bias threshold
+			kernels.ConvBatchEpilogue(kernel, gather, fw, S, n32, epi, accs, outW, packWPP)
+			for b := 0; b < B; b++ {
+				dst := outs[b].PixelWords(y, x)
+				n := copy(dst, outW[b*packWPP:(b+1)*packWPP])
+				for ; n < len(dst); n++ {
+					dst[n] = 0
+				}
+			}
+		}
+	})
+}
+
+// ForwardFusedBatch is ForwardFused over B images: the layer-major
+// batched sweep with the conv→threshold→binarize→max-pool epilogue, so
+// no lane ever materializes (or re-reads) the conv's intermediate plane.
+// A filter skips its batched kernel call only once every lane's bit has
+// saturated. pl must satisfy CanFusePool; outs take the pool's output
+// geometry.
+func (cv *Conv) ForwardFusedBatch(ins []*bitpack.Packed, pl *Pool, outs []*bitpack.Packed, ec *exec.Ctx) {
+	B := len(ins)
+	if B == 0 || len(outs) != B {
+		panic(fmt.Sprintf("core: conv batch %d inputs, %d outputs", B, len(outs)))
+	}
+	if B == 1 {
+		cv.ForwardFused(ins[0], pl, outs[0], ec)
+		return
+	}
+	if pl == nil {
+		cv.ForwardPackedBatch(ins, outs, ec)
+		return
+	}
+	if !cv.CanFusePool(pl.Shape) {
+		panic(fmt.Sprintf("core: pool %+v cannot fuse into conv %+v", pl.Shape, cv.Shape))
+	}
+	s := cv.Shape
+	p := pl.Shape
+	for b := 0; b < B; b++ {
+		cv.checkInput(ins[b])
+		if outs[b].H != p.OutH || outs[b].W != p.OutW || outs[b].C != p.OutC {
+			panic(fmt.Sprintf("core: fused output %v, want %dx%dx%d", outs[b], p.OutH, p.OutW, p.OutC))
+		}
+		if outs[b].WPP != outs[0].WPP {
+			panic("core: conv batch outputs disagree on words per pixel")
+		}
+	}
+	rowLen := cv.rowLen
+	S := s.KH * rowLen
+	packWPP := bitpack.WordsFor(s.K)
+	kernel := kernels.BatchForWidth(cv.Plan.Width)
+	fw := cv.filter.Words
+	n32 := int32(cv.validLanes)
+	epi := cv.epi
+	total := p.OutH * p.OutW
+	ec.ParallelFor(total, func(start, end int) {
+		gather := make([]uint64, B*S)     //bitflow:alloc-ok per-worker scratch, amortized over the whole batch
+		accs := make([]int32, B)          //bitflow:alloc-ok per-worker scratch, amortized over the whole batch
+		outW := make([]uint64, B*packWPP) //bitflow:alloc-ok per-worker scratch, amortized over the whole batch
+		for idx := start; idx < end; idx++ {
+			py := idx / p.OutW
+			px := idx % p.OutW
+			for i := 0; i < p.KH; i++ {
+				cy := py*p.Stride + i
+				for j := 0; j < p.KW; j++ {
+					cx := px*p.Stride + j
+					y0 := cy*s.Stride - s.Pad
+					x0 := cx*s.Stride - s.Pad
+					for b := 0; b < B; b++ {
+						w := ins[b].Words
+						dst := gather[b*S : (b+1)*S]
+						for r := 0; r < s.KH; r++ {
+							off := ins[b].PixelOffset(y0+r, x0)
+							copy(dst[r*rowLen:(r+1)*rowLen], w[off:off+rowLen])
+						}
 					}
-					if on {
-						outW[b*outWPP+wi] |= mask
+					if i == 0 && j == 0 {
+						kernels.ConvBatchEpilogue(kernel, gather, fw, S, n32, epi, accs, outW, packWPP)
+					} else {
+						kernels.ConvBatchEpilogueOr(kernel, gather, fw, S, n32, epi, accs, outW, packWPP)
 					}
 				}
 			}
 			for b := 0; b < B; b++ {
-				copy(outs[b].PixelWords(y, x), outW[b*outWPP:(b+1)*outWPP])
+				dst := outs[b].PixelWords(py, px)
+				n := copy(dst, outW[b*packWPP:(b+1)*packWPP])
+				for ; n < len(dst); n++ {
+					dst[n] = 0
+				}
 			}
 		}
 	})
@@ -208,30 +276,8 @@ func (d *Dense) ForwardFloatBatch(ins [][]uint64, outs [][]float32, s *DenseBatc
 }
 
 // packSigns writes the sign/threshold bits of the K pre-activations into
-// out, clearing trailing lanes — the shared tail of ForwardPacked and
-// ForwardPackedBatch.
+// out via the fused epilogue, clearing trailing lanes — the shared tail
+// of ForwardPacked and ForwardPackedBatch.
 func (d *Dense) packSigns(tmp []int32, out []uint64) {
-	var word uint64
-	wi := 0
-	for k, v := range tmp {
-		on := v >= 0
-		if d.act != nil {
-			on = d.act.bit(k, v)
-		}
-		if on {
-			word |= 1 << uint(k%bitpack.WordBits)
-		}
-		if (k+1)%bitpack.WordBits == 0 {
-			out[wi] = word
-			word = 0
-			wi++
-		}
-	}
-	if d.Shape.K%bitpack.WordBits != 0 {
-		out[wi] = word
-		wi++
-	}
-	for ; wi < len(out); wi++ {
-		out[wi] = 0
-	}
+	d.epi.Pack(tmp, out)
 }

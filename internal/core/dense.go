@@ -21,6 +21,9 @@ type Dense struct {
 	weights *bitpack.PackedMatrix // K rows × Plan.Words, fused transform
 	// act is the folded activation of the packed path; nil = plain sign.
 	act *Thresholds
+	// epi is act pre-compiled into the branchless fused epilogue packSigns
+	// runs; rebuilt by SetThresholds, never per inference.
+	epi *kernels.Epilogue
 	// affine post-processes the float path (ForwardFloat); nil = raw
 	// inner products.
 	affine *Affine
@@ -35,6 +38,7 @@ func (d *Dense) SetThresholds(th *Thresholds) error {
 		}
 	}
 	d.act = th
+	d.epi = th.Epilogue(d.Shape.K)
 	return nil
 }
 
@@ -75,7 +79,7 @@ func NewDensePacked(shape sched.FCShape, plan sched.Plan, pm *bitpack.PackedMatr
 	if pm.WPR != plan.Words {
 		return nil, fmt.Errorf("core: packed dense wpr=%d, plan wants %d", pm.WPR, plan.Words)
 	}
-	return &Dense{Shape: shape, Plan: plan, weights: pm}, nil
+	return &Dense{Shape: shape, Plan: plan, weights: pm, epi: kernels.NewSignEpilogue(shape.K)}, nil
 }
 
 // Weights exposes the packed weight matrix (read-only use).

@@ -179,3 +179,77 @@ func ApproxError(f *tensor.Filter, bases []*tensor.Filter, alphas [][]float32) f
 	}
 	return math.Sqrt(num / den)
 }
+
+// ForwardFused computes the M-base approximation with a per-channel
+// float threshold → binarize epilogue fused in, writing packed bits
+// straight into out — the multi-base analogue of Conv.ForwardPacked. The
+// float activation plane of Forward never materializes. thr holds the
+// per-filter activation thresholds (bit = acc ≥ thr[k]); nil means 0
+// (plain sign). out takes the conv's output geometry.
+//
+//bitflow:hot
+func (mc *MultiBaseConv) ForwardFused(in *bitpack.Packed, thr []float32, out *bitpack.Packed, ec *exec.Ctx) {
+	s := mc.Shape
+	if in.H != s.InH || in.W != s.InW || in.C != s.InC || in.WPP != mc.Plan.Words {
+		panic(fmt.Sprintf("core: multibase input %v, want %dx%dx%d wpp=%d", in, s.InH, s.InW, s.InC, mc.Plan.Words))
+	}
+	if in.MarginH < s.Pad || in.MarginW < s.Pad {
+		panic("core: multibase input margins too small")
+	}
+	if out.H != s.OutH || out.W != s.OutW || out.C != s.OutC {
+		panic(fmt.Sprintf("core: multibase output %v, want %dx%dx%d", out, s.OutH, s.OutW, s.OutC))
+	}
+	if thr != nil && len(thr) != s.K {
+		panic(fmt.Sprintf("core: multibase thresholds len %d, want K=%d", len(thr), s.K))
+	}
+	f := mc.rowsKernel
+	n32 := int32(mc.validLanes)
+	rowLen := mc.rowLen
+	fstride := s.KH * rowLen
+	total := s.OutH * s.OutW
+	ec.ParallelFor(total, func(start, end int) {
+		var inRows [16][]uint64
+		rows := inRows[:s.KH]
+		for idx := start; idx < end; idx++ {
+			y := idx / s.OutW
+			x := idx % s.OutW
+			y0 := y*s.Stride - s.Pad
+			x0 := x*s.Stride - s.Pad
+			for i := 0; i < s.KH; i++ {
+				off := in.PixelOffset(y0+i, x0)
+				rows[i] = in.Words[off : off+rowLen : off+rowLen]
+			}
+			dst := out.PixelWords(y, x)
+			var word uint64
+			wi := 0
+			for k := 0; k < s.K; k++ {
+				base := k * fstride
+				var acc float32
+				for m := 0; m < mc.M; m++ {
+					fw := mc.bases[m].Words
+					pop := f(rows, fw[base:base+fstride:base+fstride])
+					acc += mc.alphas[m][k] * float32(n32-2*int32(pop))
+				}
+				var t float32
+				if thr != nil {
+					t = thr[k]
+				}
+				if acc >= t {
+					word |= 1 << uint(k%bitpack.WordBits)
+				}
+				if (k+1)%bitpack.WordBits == 0 {
+					dst[wi] = word
+					word = 0
+					wi++
+				}
+			}
+			if s.K%bitpack.WordBits != 0 {
+				dst[wi] = word
+				wi++
+			}
+			for ; wi < len(dst); wi++ {
+				dst[wi] = 0
+			}
+		}
+	})
+}

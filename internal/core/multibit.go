@@ -191,3 +191,94 @@ func (mb *MultiBitConv) Reference(in *tensor.Tensor, fb *tensor.Filter) *tensor.
 	}
 	return out
 }
+
+// ForwardFused computes the multi-bit convolution with a per-channel
+// float threshold → binarize epilogue fused in, writing packed bits
+// straight into out. Unlike Forward, which materializes one float plane
+// per bit-plane pass plus the float output plane, the fused form walks
+// the B planes per output pixel and never touches a float activation
+// buffer. thr holds the per-filter thresholds (bit = acc ≥ thr[k]); nil
+// means 0. out takes the conv's output geometry.
+//
+//bitflow:hot
+func (mb *MultiBitConv) ForwardFused(planes []*bitpack.Packed, thr []float32, out *bitpack.Packed, ec *exec.Ctx) {
+	s := mb.Shape
+	if len(planes) != mb.Bits {
+		panic(fmt.Sprintf("core: %d planes, want %d", len(planes), mb.Bits))
+	}
+	for _, p := range planes {
+		if p.H != s.InH || p.W != s.InW || p.C != s.InC || p.WPP != mb.Plan.Words {
+			panic(fmt.Sprintf("core: multibit plane %v, want %dx%dx%d wpp=%d", p, s.InH, s.InW, s.InC, mb.Plan.Words))
+		}
+		if p.MarginH < s.Pad || p.MarginW < s.Pad {
+			panic("core: multibit plane margins too small")
+		}
+	}
+	if out.H != s.OutH || out.W != s.OutW || out.C != s.OutC {
+		panic(fmt.Sprintf("core: multibit output %v, want %dx%dx%d", out, s.OutH, s.OutW, s.OutC))
+	}
+	if thr != nil && len(thr) != s.K {
+		panic(fmt.Sprintf("core: multibit thresholds len %d, want K=%d", len(thr), s.K))
+	}
+	cv := mb.conv
+	f := cv.rowsKernel
+	n32 := int32(cv.validLanes)
+	rowLen := cv.rowLen
+	fstride := s.KH * rowLen
+	fw := cv.filter.Words
+	step := mb.step()
+	planeSum := float32(int(1)<<mb.Bits-1) / 2
+	offsetScale := mb.Lo + step*planeSum
+	total := s.OutH * s.OutW
+	ec.ParallelFor(total, func(start, end int) {
+		// One hoisted row set per bit-plane (Bits ≤ 8, KH ≤ 16).
+		var planeRows [8][16][]uint64
+		for idx := start; idx < end; idx++ {
+			y := idx / s.OutW
+			x := idx % s.OutW
+			y0 := y*s.Stride - s.Pad
+			x0 := x*s.Stride - s.Pad
+			for t := 0; t < mb.Bits; t++ {
+				for i := 0; i < s.KH; i++ {
+					off := planes[t].PixelOffset(y0+i, x0)
+					planeRows[t][i] = planes[t].Words[off : off+rowLen : off+rowLen]
+				}
+			}
+			dst := out.PixelWords(y, x)
+			var word uint64
+			wi := 0
+			for k := 0; k < s.K; k++ {
+				base := k * fstride
+				// Accumulate planes first, offset last — the exact float
+				// addition order of Forward, so fused bits match it even at
+				// rounding boundaries.
+				var acc float32
+				for t := 0; t < mb.Bits; t++ {
+					pop := f(planeRows[t][:s.KH], fw[base:base+fstride:base+fstride])
+					w := step * float32(int32(1)<<uint(t)) / 2
+					acc += w * float32(n32-2*int32(pop))
+				}
+				acc += offsetScale * float32(mb.weightSums[k])
+				var th float32
+				if thr != nil {
+					th = thr[k]
+				}
+				if acc >= th {
+					word |= 1 << uint(k%bitpack.WordBits)
+				}
+				if (k+1)%bitpack.WordBits == 0 {
+					dst[wi] = word
+					word = 0
+					wi++
+				}
+			}
+			if s.K%bitpack.WordBits != 0 {
+				dst[wi] = word
+				wi++
+			}
+			for ; wi < len(dst); wi++ {
+				dst[wi] = 0
+			}
+		}
+	})
+}

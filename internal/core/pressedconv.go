@@ -36,6 +36,9 @@ type Conv struct {
 	// act is the folded activation of the packed path; nil means the
 	// plain Equation 3 sign.
 	act *Thresholds
+	// epi is act pre-compiled into the branchless fused epilogue the
+	// packed paths run; rebuilt by SetThresholds, never per inference.
+	epi *kernels.Epilogue
 }
 
 // SetThresholds installs a folded activation (batch-norm or bias) for
@@ -47,6 +50,7 @@ func (cv *Conv) SetThresholds(th *Thresholds) error {
 		}
 	}
 	cv.act = th
+	cv.epi = th.Epilogue(cv.Shape.K)
 	return nil
 }
 
@@ -92,6 +96,7 @@ func NewConvPacked(shape sched.ConvShape, plan sched.Plan, pf *bitpack.PackedFil
 		rowsKernel: kernels.RowsForWidth(plan.Width),
 		validLanes: shape.KH * shape.KW * shape.InC,
 		rowLen:     shape.KW * plan.Words,
+		epi:        kernels.NewSignEpilogue(shape.K),
 	}, nil
 }
 
@@ -186,11 +191,10 @@ func (cv *Conv) pixelInto(in *bitpack.Packed, y, x int, dst []float32) {
 }
 
 // pixelPackedInto computes the K inner products of output pixel (y, x)
-// and writes sign bits into the WPP words at dst. Bits beyond K stay 0.
+// and writes threshold bits into the WPP words at dst via the fused
+// epilogue. Bits beyond K stay 0.
 func (cv *Conv) pixelPackedInto(in *bitpack.Packed, y, x int, dst []uint64) {
 	s := cv.Shape
-	f := cv.rowsKernel
-	n32 := int32(cv.validLanes)
 	rowLen := cv.rowLen
 	y0 := y*s.Stride - s.Pad
 	x0 := x*s.Stride - s.Pad
@@ -200,33 +204,75 @@ func (cv *Conv) pixelPackedInto(in *bitpack.Packed, y, x int, dst []uint64) {
 		off := in.PixelOffset(y0+i, x0)
 		rows[i] = in.Words[off : off+rowLen : off+rowLen]
 	}
-	fw := cv.filter.Words
+	kernels.ConvEpilogue(cv.rowsKernel, rows, cv.filter.Words, s.KH*rowLen,
+		int32(cv.validLanes), cv.epi, dst)
+}
+
+// CanFusePool reports whether a max-pool with shape ps can fuse into this
+// conv's epilogue: ps must consume exactly this conv's output geometry
+// with non-overlapping windows (stride ≥ window in both dimensions), so
+// every conv pixel belongs to at most one window and the fused sweep
+// computes it exactly once. Max-pool commutes with sign — the max of ±1
+// values has the sign bit OR — so ORing the per-position threshold bits
+// is bit-exact against conv-then-pool.
+func (cv *Conv) CanFusePool(ps sched.PoolShape) bool {
+	s := cv.Shape
+	return ps.InH == s.OutH && ps.InW == s.OutW && ps.InC == s.OutC &&
+		ps.Stride >= ps.KH && ps.Stride >= ps.KW
+}
+
+// ForwardFused is the fused conv → threshold → binarize → max-pool
+// forward: for each pool output pixel it runs the conv epilogue over the
+// window's positions, the first overwriting, the rest ORing threshold
+// bits in — with a filter's XOR+popcount skipped outright once its bit
+// saturates (OR is monotone). The conv's intermediate plane never
+// materializes. pl must satisfy CanFusePool; out takes the pool's output
+// geometry. A nil pl degenerates to ForwardPacked.
+func (cv *Conv) ForwardFused(in *bitpack.Packed, pl *Pool, out *bitpack.Packed, ec *exec.Ctx) {
+	if pl == nil {
+		cv.ForwardPacked(in, out, ec)
+		return
+	}
+	cv.checkInput(in)
+	if !cv.CanFusePool(pl.Shape) {
+		panic(fmt.Sprintf("core: pool %+v cannot fuse into conv %+v", pl.Shape, cv.Shape))
+	}
+	p := pl.Shape
+	if out.H != p.OutH || out.W != p.OutW || out.C != p.OutC {
+		panic(fmt.Sprintf("core: fused output %v, want %dx%dx%d", out, p.OutH, p.OutW, p.OutC))
+	}
+	s := cv.Shape
+	rowLen := cv.rowLen
 	fstride := s.KH * rowLen
-	act := cv.act
-	var word uint64
-	wi := 0
-	for k := 0; k < s.K; k++ {
-		base := k * fstride
-		acc := f(rows, fw[base:base+fstride:base+fstride])
-		d := n32 - 2*int32(acc)
-		on := d >= 0 // sign activation, Equation 3
-		if act != nil {
-			on = act.bit(k, d) // folded batch-norm / bias threshold
+	n32 := int32(cv.validLanes)
+	fw := cv.filter.Words
+	epi := cv.epi
+	f := cv.rowsKernel
+	total := p.OutH * p.OutW
+	ec.ParallelFor(total, func(start, end int) {
+		var inRows [16][]uint64
+		rows := inRows[:s.KH]
+		for idx := start; idx < end; idx++ {
+			py := idx / p.OutW
+			px := idx % p.OutW
+			dst := out.PixelWords(py, px)
+			for i := 0; i < p.KH; i++ {
+				cy := py*p.Stride + i
+				for j := 0; j < p.KW; j++ {
+					cx := px*p.Stride + j
+					y0 := cy*s.Stride - s.Pad
+					x0 := cx*s.Stride - s.Pad
+					for r := 0; r < s.KH; r++ {
+						off := in.PixelOffset(y0+r, x0)
+						rows[r] = in.Words[off : off+rowLen : off+rowLen]
+					}
+					if i == 0 && j == 0 {
+						kernels.ConvEpilogue(f, rows, fw, fstride, n32, epi, dst)
+					} else {
+						kernels.ConvEpilogueOr(f, rows, fw, fstride, n32, epi, dst)
+					}
+				}
+			}
 		}
-		if on {
-			word |= 1 << uint(k%bitpack.WordBits)
-		}
-		if (k+1)%bitpack.WordBits == 0 {
-			dst[wi] = word
-			word = 0
-			wi++
-		}
-	}
-	if s.K%bitpack.WordBits != 0 {
-		dst[wi] = word
-		wi++
-	}
-	for ; wi < len(dst); wi++ {
-		dst[wi] = 0
-	}
+	})
 }

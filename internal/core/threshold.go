@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"bitflow/internal/kernels"
 )
 
 // Thresholds generalizes the sign activation of the binarized path.
@@ -32,12 +34,24 @@ func NewThresholds(k int) *Thresholds {
 }
 
 // bit evaluates the folded activation for channel c at integer
-// pre-activation d.
+// pre-activation d. The hot paths never call this per element any more —
+// they run the pre-compiled branchless Epilogue — but it remains the
+// readable reference the epilogue is tested against.
 func (th *Thresholds) bit(c int, d int32) bool {
 	if th.Flip[c] {
 		return d <= th.T[c]
 	}
 	return d >= th.T[c]
+}
+
+// Epilogue compiles the activation into the branchless fused form the
+// kernels consume. A nil receiver yields the plain sign over k channels.
+// Called once at operator construction / SetThresholds time.
+func (th *Thresholds) Epilogue(k int) *kernels.Epilogue {
+	if th == nil {
+		return kernels.NewSignEpilogue(k)
+	}
+	return kernels.NewEpilogue(th.T, th.Flip)
 }
 
 // validate checks the channel count.

@@ -39,9 +39,10 @@ func TestBatchNormNetworkBuildsAndFoldsAway(t *testing.T) {
 	if len(ws.asked) != 3 {
 		t.Fatalf("BN queried %v", ws.asked)
 	}
-	// BN layers are folded, not materialized: layer list has no bn rows.
-	if got := len(net.Layers()); got != 4 {
-		t.Fatalf("%d layers, want 4 (conv,pool,dense,dense)", got)
+	// BN layers are folded, not materialized, and the conv→pool pair
+	// fuses: layer list has no bn rows and one conv+pool node.
+	if got := len(net.Layers()); got != 3 {
+		t.Fatalf("%d layers, want 3 (conv+pool,dense,dense)", got)
 	}
 	out := net.Infer(workload.RandTensor(workload.NewRNG(61), 8, 8, 64))
 	if len(out) != 5 {

@@ -36,6 +36,17 @@ type Builder struct {
 	feat          sched.Features
 	inH, inW, inC int
 	specs         []spec
+	// noFuse disables the conv→pool fusion planning pass (see fuse.go).
+	noFuse bool
+}
+
+// DisableFusion turns off the conv→pool fusion planning pass, compiling
+// the network with one node per declared layer. Fusion never changes
+// logits — this exists for the fused-vs-unfused equivalence harness and
+// for apples-to-apples benchmarking, not as a production knob.
+func (b *Builder) DisableFusion() *Builder {
+	b.noFuse = true
+	return b
 }
 
 // NewBuilder starts a network taking inH×inW×inC inputs.
@@ -470,6 +481,10 @@ func (b *Builder) buildFrom(src opSource) (*Network, error) {
 	}
 	if n.output == nil {
 		return nil, errors.New("graph: network must end in a dense classifier")
+	}
+	n.unfused = b.noFuse
+	if !b.noFuse {
+		n.fuse()
 	}
 	return n, nil
 }

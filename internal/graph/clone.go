@@ -16,7 +16,11 @@ import (
 //	worker := net.Clone()
 //	go func() { _ = worker.Infer(x) }()
 func (n *Network) Clone() *Network {
-	b := &Builder{name: n.Name, feat: n.Feat, inH: n.InH, inW: n.InW, inC: n.InC, specs: n.arch}
+	// Clones inherit the original's data-flow plan: an unfused network's
+	// lanes stay unfused, so fused-vs-unfused comparisons compare like
+	// with like even through EnsureBatch.
+	b := &Builder{name: n.Name, feat: n.Feat, inH: n.InH, inW: n.InW, inC: n.InC,
+		specs: n.arch, noFuse: n.unfused}
 	clone, err := b.buildFrom(&reuseSource{layers: n.layers})
 	if err != nil {
 		// The architecture already compiled once; a failure here is a
@@ -39,7 +43,7 @@ func (rs *reuseSource) next() layer {
 		l := rs.layers[rs.idx]
 		rs.idx++
 		switch l.(type) {
-		case *convLayer, *denseLayer, *floatConvLayer:
+		case *convLayer, *denseLayer, *floatConvLayer, *fusedConvPoolLayer:
 			return l
 		}
 	}
@@ -47,12 +51,19 @@ func (rs *reuseSource) next() layer {
 }
 
 func (rs *reuseSource) conv(name string, shape sched.ConvShape, plan sched.Plan) (*core.Conv, error) {
-	l := rs.next()
-	cl, ok := l.(*convLayer)
-	if !ok || cl.lname != name {
-		return nil, fmt.Errorf("graph: clone source out of sync at conv %q", name)
+	// A conv spec may be backed by a plain conv node or by a fused
+	// conv+pool node whose conv half carries the weights.
+	switch l := rs.next().(type) {
+	case *convLayer:
+		if l.lname == name {
+			return l.op, nil
+		}
+	case *fusedConvPoolLayer:
+		if l.convName == name {
+			return l.conv, nil
+		}
 	}
-	return cl.op, nil
+	return nil, fmt.Errorf("graph: clone source out of sync at conv %q", name)
 }
 
 func (rs *reuseSource) dense(name string, shape sched.FCShape, plan sched.Plan) (*core.Dense, error) {

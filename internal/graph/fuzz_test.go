@@ -77,9 +77,28 @@ func FuzzLoadArbitraryBytes(f *testing.F) {
 		}
 		return buf.Bytes()
 	}()
+	// A second artifact whose topology contains a fusable conv→pool pair,
+	// so the corpus exercises the loader's fusion planning pass too.
+	validFused := func() []byte {
+		b, _, _, _ := fuzzTopology(1, []byte{2, 2, 0, 0, 1, 2, 3})
+		net, err := b.Build(RandomWeights{Seed: 2})
+		if err != nil {
+			f.Fatalf("building fused seed network: %v", err)
+		}
+		if net.Fusion().Pairs == 0 {
+			f.Fatal("fused seed network has no fused pairs")
+		}
+		var buf bytes.Buffer
+		if _, err := net.Save(&buf); err != nil {
+			f.Fatalf("saving fused seed network: %v", err)
+		}
+		return buf.Bytes()
+	}()
 	f.Add([]byte{})
 	f.Add([]byte("BFLW"))
 	f.Add(valid)
+	f.Add(validFused)
+	f.Add(validFused[:len(validFused)*2/3]) // truncated mid-weights
 	f.Add(valid[:len(valid)-16]) // legacy: no footer
 	f.Add(valid[:len(valid)/2])  // truncated payload
 	corrupt := append([]byte(nil), valid...)

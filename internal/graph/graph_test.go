@@ -161,15 +161,26 @@ func TestLayersReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The fusion planner collapses both conv→pool pairs, so the 7
+	// declared layers compile to 5 nodes.
 	infos := net.Layers()
-	if len(infos) != 7 {
-		t.Fatalf("layer count %d want 7", len(infos))
+	if len(infos) != 5 {
+		t.Fatalf("layer count %d want 5", len(infos))
 	}
 	if infos[0].Name != "conv1.1" || infos[0].Kind != "conv" || infos[0].OutDims != "32x32x64" {
 		t.Errorf("layer 0 = %+v", infos[0])
 	}
-	if infos[6].Name != "fc2" || infos[6].OutDims != "10" {
-		t.Errorf("layer 6 = %+v", infos[6])
+	if infos[1].Name != "conv1.2+pool1" || infos[1].Kind != "conv+pool" || infos[1].OutDims != "16x16x64" {
+		t.Errorf("layer 1 = %+v", infos[1])
+	}
+	if infos[2].Name != "conv2.1+pool2" || infos[2].Kind != "conv+pool" || infos[2].OutDims != "8x8x128" {
+		t.Errorf("layer 2 = %+v", infos[2])
+	}
+	if infos[4].Name != "fc2" || infos[4].OutDims != "10" {
+		t.Errorf("layer 4 = %+v", infos[4])
+	}
+	if fs := net.Fusion(); fs.Pairs != 2 || fs.EliminatedWords <= 0 {
+		t.Errorf("fusion stats = %+v", fs)
 	}
 }
 
@@ -183,7 +194,7 @@ func TestInferTimed(t *testing.T) {
 	if len(out) != 10 {
 		t.Fatalf("output len %d", len(out))
 	}
-	if len(timings) != 8 { // input + 7 layers
+	if len(timings) != 6 { // input + 5 fused nodes
 		t.Fatalf("timings len %d", len(timings))
 	}
 	if timings[0].Name != "input" {
@@ -288,20 +299,24 @@ func TestVGG16Architecture(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Each of the five blocks ends conv→pool, and all five pairs fuse:
+	// 13 conv + 5 pool compiles to 8 conv + 5 conv+pool nodes.
 	infos := net.Layers()
-	var convs, pools, fcs int
+	var convs, pools, fused, fcs int
 	for _, li := range infos {
 		switch li.Kind {
 		case "conv":
 			convs++
 		case "pool":
 			pools++
+		case "conv+pool":
+			fused++
 		case "fc":
 			fcs++
 		}
 	}
-	if convs != 13 || pools != 5 || fcs != 3 {
-		t.Errorf("VGG-16 layout %d conv / %d pool / %d fc", convs, pools, fcs)
+	if convs != 8 || pools != 0 || fused != 5 || fcs != 3 {
+		t.Errorf("VGG-16 layout %d conv / %d pool / %d conv+pool / %d fc", convs, pools, fused, fcs)
 	}
 	// Table V: binarized VGG is ~16.5 MB (paper reports full precision
 	// >500 MB and 32× compression).
@@ -314,15 +329,16 @@ func TestVGG16Architecture(t *testing.T) {
 	if fullMB < 500 || fullMB > 560 {
 		t.Errorf("full-precision VGG-16 = %.1f MB, expected ≈528 MB", fullMB)
 	}
-	// The feature extractor ends at 7×7×512 before fc6.
+	// The feature extractor ends at 7×7×512 before fc6 (pool5 now lives
+	// inside the fused tail node of block 5).
 	found := false
 	for _, li := range infos {
-		if li.Name == "pool5" && li.OutDims == "7x7x512" {
+		if li.Name == "conv5.3+pool5" && li.OutDims == "7x7x512" {
 			found = true
 		}
 	}
 	if !found {
-		t.Error("pool5 output is not 7x7x512")
+		t.Error("conv5.3+pool5 output is not 7x7x512")
 	}
 	if !strings.Contains(infos[len(infos)-1].OutDims, "1000") {
 		t.Errorf("classifier dims %q", infos[len(infos)-1].OutDims)

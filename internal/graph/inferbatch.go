@@ -100,6 +100,13 @@ func (n *Network) rewireBatch() {
 				cl := lane.layers[li].(*convLayer)
 				w.convIns[b], w.convOuts[b] = cl.in, cl.out
 			}
+		case *fusedConvPoolLayer:
+			w.convIns = make([]*bitpack.Packed, B)
+			w.convOuts = make([]*bitpack.Packed, B)
+			for b, lane := range n.lanes {
+				fl := lane.layers[li].(*fusedConvPoolLayer)
+				w.convIns[b], w.convOuts[b] = fl.in, fl.out
+			}
 		case *denseLayer:
 			w.denseIns = make([][]uint64, B)
 			w.densePacked = make([][]uint64, B)
@@ -183,6 +190,8 @@ func (n *Network) forwardLayerBatch(li int, lanes []*Network, ec *exec.Ctx) {
 	switch l := n.layers[li].(type) {
 	case *convLayer:
 		l.op.ForwardPackedBatch(w.convIns[:B], w.convOuts[:B], ec)
+	case *fusedConvPoolLayer:
+		l.conv.ForwardFusedBatch(w.convIns[:B], l.pool, w.convOuts[:B], ec)
 	case *denseLayer:
 		if l.floatOut != nil {
 			l.op.ForwardFloatBatch(w.denseIns[:B], w.denseFloat[:B], w.denseTmp, ec)

@@ -33,13 +33,13 @@ func TestDeepChainIntegration(t *testing.T) {
 		t.Fatalf("classes %d", net.Classes)
 	}
 	// Shape walk: 16 → stem 16 → c1 16 → c2 (stride 2) 8 → pool 4 → c3 4
-	// → flatten 4·4·64 = 1024.
+	// → flatten 4·4·64 = 1024. The strided c2 and p1 fuse into one node.
 	infos := net.Layers()
-	if infos[2].OutDims != "8x8x128" {
-		t.Errorf("strided conv out %s", infos[2].OutDims)
+	if infos[2].Name != "c2+p1" || infos[2].OutDims != "4x4x128" {
+		t.Errorf("fused strided conv+pool = %+v", infos[2])
 	}
-	if infos[4].OutDims != "4x4x64" {
-		t.Errorf("c3 out %s", infos[4].OutDims)
+	if infos[3].OutDims != "4x4x64" {
+		t.Errorf("c3 out %s", infos[3].OutDims)
 	}
 
 	x := workload.RandTensor(workload.NewRNG(201), 16, 16, 3)
@@ -88,10 +88,22 @@ func TestActivationBytesMatchAllocation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Input edge: (8+2)·(8+2)·1 word; conv out → pool in: 8·8·1; pool
-	// out → flatten: 4·4·1. All in words × 8 bytes.
-	want := int64(10*10+8*8+4*4) * 8
+	// Input edge: (8+2)·(8+2)·1 word; pool out → flatten: 4·4·1. The
+	// conv→pool intermediate plane (8·8·1 words) is eliminated by
+	// fusion. All in words × 8 bytes.
+	want := int64(10*10+4*4) * 8
 	if got := net.ActivationBytes(); got != want {
 		t.Errorf("ActivationBytes = %d want %d", got, want)
+	}
+	if fs := net.Fusion(); fs.Pairs != 1 || fs.EliminatedWords != 8*8 {
+		t.Errorf("fusion stats = %+v", fs)
+	}
+	// An unfused clone still materializes the intermediate plane.
+	unfused := net.CloneUnfused()
+	if got := unfused.ActivationBytes(); got != want+8*8*8 {
+		t.Errorf("unfused ActivationBytes = %d want %d", got, want+8*8*8)
+	}
+	if unfused.Fused() {
+		t.Error("CloneUnfused reports Fused() = true")
 	}
 }

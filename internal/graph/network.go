@@ -63,6 +63,13 @@ type Network struct {
 
 	activationWords int64 // pre-allocated packed activation words
 
+	// fusion records what the conv→pool fusion planning pass collapsed
+	// (see fuse.go); unfused marks a network built with the planner
+	// disabled (Builder.DisableFusion / CloneUnfused), so clones inherit
+	// the same data-flow plan.
+	fusion  FusionStats
+	unfused bool
+
 	// lanes is the batched-inference buffer pool (see inferbatch.go):
 	// lane 0 is the network itself, the rest are clones sharing the
 	// packed weights. Grown once by EnsureBatch, never shrunk.

@@ -205,6 +205,13 @@ func (n *Network) Save(w io.Writer) (int64, error) {
 			if err := writeWordBlob(bw, v.op.Filter().Words); err != nil {
 				return cw.n, err
 			}
+		case *fusedConvPoolLayer:
+			// A fused node serializes exactly as its conv half: the pool is
+			// weightless, so the artifact is byte-identical whether the
+			// network compiled fused or not.
+			if err := writeWordBlob(bw, v.conv.Filter().Words); err != nil {
+				return cw.n, err
+			}
 		case *denseLayer:
 			if err := writeWordBlob(bw, v.op.Weights().Words); err != nil {
 				return cw.n, err
@@ -226,6 +233,8 @@ func (n *Network) Save(w io.Writer) (int64, error) {
 		switch v := l.(type) {
 		case *convLayer:
 			th = v.op.Activation()
+		case *fusedConvPoolLayer:
+			th = v.conv.Activation()
 		case *denseLayer:
 			th = v.op.Activation()
 			aff = v.op.OutAffine()
@@ -302,7 +311,7 @@ func writeWordBlob(w io.Writer, words []uint64) error {
 func readActivations(r io.Reader, n *Network) error {
 	for _, l := range n.layers {
 		switch l.(type) {
-		case *convLayer, *denseLayer, *floatConvLayer:
+		case *convLayer, *denseLayer, *floatConvLayer, *fusedConvPoolLayer:
 		default:
 			continue
 		}
@@ -354,6 +363,15 @@ func readActivations(r io.Reader, n *Network) error {
 			}
 			if th != nil {
 				if err := v.op.SetThresholds(th); err != nil {
+					return fmt.Errorf("graph: activation for %s: %w", l.name(), err)
+				}
+			}
+		case *fusedConvPoolLayer:
+			if aff != nil {
+				return fmt.Errorf("graph: conv %s cannot carry an affine record", l.name())
+			}
+			if th != nil {
+				if err := v.conv.SetThresholds(th); err != nil {
 					return fmt.Errorf("graph: activation for %s: %w", l.name(), err)
 				}
 			}

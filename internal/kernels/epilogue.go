@@ -1,0 +1,279 @@
+package kernels
+
+import "bitflow/internal/bitpack"
+
+// This file is the fused binarization epilogue of the forward data-flow
+// overhaul (Vorabbi et al., "Optimizing data-flow in Binary Neural
+// Networks"): once the XOR+popcount conv itself is fast, materializing a
+// pre-activation plane only to threshold, re-binarize, and re-pack it is
+// the dominant cost. The Epilogue folds compare-threshold → set-bit (and,
+// in the Or variants, the following max-pool) into the accumulate loop,
+// so packed bits are written straight into the next layer's input buffer
+// and no intermediate plane exists.
+//
+// The comparison is branchless. A folded batch-norm activation is
+//
+//	bit = d ≥ T[c]        (γ > 0)
+//	bit = d ≤ T[c]        (γ < 0, "flipped")
+//
+// and d ≤ T is exactly ¬(d ≥ T+1), so a flipped channel stores T+1 and
+// XORs its bit. Thresholds are widened to int64 at construction: T+1
+// would overflow int32 at T = MaxInt32, and the pre-activation d (≤ 2³¹)
+// subtracts safely in 64 bits.
+
+// Epilogue is a pre-compiled compare-threshold → set-bit pass over K
+// output channels. Build one per operator at construction/SetThresholds
+// time (never per inference) and share it freely: it is read-only.
+type Epilogue struct {
+	// K is the channel count; bits beyond K are cleared by Pack.
+	K int
+	// T holds the adjusted per-channel thresholds: T[c] for straight
+	// channels, T[c]+1 for flipped ones (see file comment).
+	T []int64
+	// Flip packs the per-channel inversion bits, one word per 64
+	// channels, aligned with the packed output words.
+	Flip []uint64
+}
+
+// NewSignEpilogue returns the plain Equation 3 sign activation (d ≥ 0)
+// over k channels.
+func NewSignEpilogue(k int) *Epilogue {
+	return &Epilogue{K: k, T: make([]int64, k), Flip: make([]uint64, bitpack.WordsFor(k))} //bitflow:alloc-ok constructor, runs once at operator build time, never per inference
+}
+
+// NewEpilogue compiles per-channel int32 thresholds and flip flags into
+// the branchless form. t and flip must have equal length.
+func NewEpilogue(t []int32, flip []bool) *Epilogue {
+	if len(t) != len(flip) {
+		panicSize("NewEpilogue", "flip", len(flip), len(t))
+	}
+	e := NewSignEpilogue(len(t))
+	for c := range t {
+		e.T[c] = int64(t[c])
+		if flip[c] {
+			e.T[c]++ // d ≤ T  ⇔  ¬(d ≥ T+1)
+			e.Flip[c/bitpack.WordBits] |= 1 << uint(c%bitpack.WordBits)
+		}
+	}
+	return e
+}
+
+// bit evaluates one channel: 1 when d passes the (possibly flipped)
+// threshold. Branchless: (d-T) ≥ 0 via the arithmetic sign shift.
+func (e *Epilogue) bit(c int, d int64) uint64 {
+	ge := uint64(((d-e.T[c])>>63)+1) & 1
+	return ge ^ (e.Flip[c/bitpack.WordBits] >> uint(c%bitpack.WordBits) & 1)
+}
+
+// Pack writes the threshold bits of the K pre-activations d into dst,
+// overwriting it and clearing trailing words — the fused replacement for
+// a per-element Thresholds.bit pass.
+func (e *Epilogue) Pack(d []int32, dst []uint64) {
+	if len(d) != e.K {
+		panicSize("Epilogue.Pack", "d", len(d), e.K)
+	}
+	if len(dst) < bitpack.WordsFor(e.K) {
+		panicSize("Epilogue.Pack", "dst", len(dst), bitpack.WordsFor(e.K))
+	}
+	t := e.T
+	var word uint64
+	wi := 0
+	for c, v := range d {
+		ge := uint64(((int64(v)-t[c])>>63)+1) & 1
+		word |= ge << uint(c%bitpack.WordBits)
+		if (c+1)%bitpack.WordBits == 0 {
+			dst[wi] = word ^ e.Flip[wi]
+			word = 0
+			wi++
+		}
+	}
+	if e.K%bitpack.WordBits != 0 {
+		dst[wi] = word ^ e.Flip[wi]
+		wi++
+	}
+	for ; wi < len(dst); wi++ {
+		dst[wi] = 0
+	}
+}
+
+// PackOr ORs the threshold bits of d into dst without clearing — the
+// pooled accumulation step (max over sign bits is OR). dst must span at
+// least WordsFor(K) words and already hold a previous window position's
+// bits (or zeros).
+func (e *Epilogue) PackOr(d []int32, dst []uint64) {
+	if len(d) != e.K {
+		panicSize("Epilogue.PackOr", "d", len(d), e.K)
+	}
+	if len(dst) < bitpack.WordsFor(e.K) {
+		panicSize("Epilogue.PackOr", "dst", len(dst), bitpack.WordsFor(e.K))
+	}
+	t := e.T
+	var word uint64
+	wi := 0
+	for c, v := range d {
+		ge := uint64(((int64(v)-t[c])>>63)+1) & 1
+		word |= ge << uint(c%bitpack.WordBits)
+		if (c+1)%bitpack.WordBits == 0 {
+			dst[wi] |= word ^ e.Flip[wi]
+			word = 0
+			wi++
+		}
+	}
+	if e.K%bitpack.WordBits != 0 {
+		dst[wi] |= word ^ e.Flip[wi]
+	}
+}
+
+// ConvEpilogue runs the accumulate→threshold→set-bit ladder for one
+// output pixel: for each of e.K filters it XOR+popcounts the gathered
+// input rows against the filter block and writes the threshold bit into
+// dst, overwriting dst fully (trailing words cleared). f is the
+// width-ladder rows kernel, fw the packed filter bank (fstride words per
+// filter), n32 the valid lane count N of Equation 1.
+func ConvEpilogue(f XorPopRowsFunc, rows [][]uint64, fw []uint64, fstride int, n32 int32, e *Epilogue, dst []uint64) {
+	if len(fw) < e.K*fstride {
+		panicSize("ConvEpilogue", "fw", len(fw), e.K*fstride)
+	}
+	if len(dst) < bitpack.WordsFor(e.K) {
+		panicSize("ConvEpilogue", "dst", len(dst), bitpack.WordsFor(e.K))
+	}
+	t := e.T
+	n := int64(n32)
+	var word uint64
+	wi := 0
+	for k := 0; k < e.K; k++ {
+		base := k * fstride
+		acc := f(rows, fw[base:base+fstride:base+fstride])
+		d := n - 2*int64(acc)
+		ge := uint64(((d-t[k])>>63)+1) & 1
+		word |= ge << uint(k%bitpack.WordBits)
+		if (k+1)%bitpack.WordBits == 0 {
+			dst[wi] = word ^ e.Flip[wi]
+			word = 0
+			wi++
+		}
+	}
+	if e.K%bitpack.WordBits != 0 {
+		dst[wi] = word ^ e.Flip[wi]
+		wi++
+	}
+	for ; wi < len(dst); wi++ {
+		dst[wi] = 0
+	}
+}
+
+// ConvEpilogueOr is ConvEpilogue for the remaining positions of a pool
+// window: threshold bits OR into dst (max-pool commutes with sign).
+// Because OR is monotone, a filter whose destination bit is already set
+// cannot change the result — its XOR+popcount is skipped entirely. On
+// typical activations roughly half the filters of each later window
+// position short-circuit, which is where the fused path's speedup over
+// conv-then-pool comes from.
+func ConvEpilogueOr(f XorPopRowsFunc, rows [][]uint64, fw []uint64, fstride int, n32 int32, e *Epilogue, dst []uint64) {
+	if len(fw) < e.K*fstride {
+		panicSize("ConvEpilogueOr", "fw", len(fw), e.K*fstride)
+	}
+	if len(dst) < bitpack.WordsFor(e.K) {
+		panicSize("ConvEpilogueOr", "dst", len(dst), bitpack.WordsFor(e.K))
+	}
+	t := e.T
+	n := int64(n32)
+	for wi := 0; wi*bitpack.WordBits < e.K; wi++ {
+		have := dst[wi]
+		// Flip is applied per channel here: dst already lives in the
+		// post-flip domain, so a whole-word XOR would corrupt the bits
+		// accumulated by earlier window positions.
+		flip := e.Flip[wi]
+		kEnd := min(e.K, (wi+1)*bitpack.WordBits)
+		for k := wi * bitpack.WordBits; k < kEnd; k++ {
+			mask := uint64(1) << uint(k%bitpack.WordBits)
+			if have&mask != 0 {
+				continue // already 1: OR can't change it, skip the popcounts
+			}
+			base := k * fstride
+			acc := f(rows, fw[base:base+fstride:base+fstride])
+			d := n - 2*int64(acc)
+			ge := uint64(((d-t[k])>>63)+1) & 1
+			b := ge ^ (flip >> uint(k%bitpack.WordBits) & 1)
+			have |= b << uint(k%bitpack.WordBits)
+		}
+		dst[wi] = have
+	}
+}
+
+// ConvBatchEpilogue runs the batched accumulate→threshold→set-bit ladder
+// for one output pixel across B images: gather holds the B receptive
+// fields (S words each, image-major), kernel is the width-ladder batch
+// kernel, accs is B-length popcount scratch, and out receives B packed
+// pixels of outWPP words each, overwritten fully.
+func ConvBatchEpilogue(kernel XorPopBatchFunc, gather, fw []uint64, S int, n32 int32, e *Epilogue, accs []int32, out []uint64, outWPP int) {
+	B := len(accs)
+	if len(gather) != B*S {
+		panicSize("ConvBatchEpilogue", "gather", len(gather), B*S)
+	}
+	if len(fw) < e.K*S {
+		panicSize("ConvBatchEpilogue", "fw", len(fw), e.K*S)
+	}
+	if len(out) != B*outWPP {
+		panicSize("ConvBatchEpilogue", "out", len(out), B*outWPP)
+	}
+	clear(out)
+	t := e.T
+	n := int64(n32)
+	for k := 0; k < e.K; k++ {
+		base := k * S
+		kernel(gather, fw[base:base+S:base+S], accs)
+		wi := k / bitpack.WordBits
+		sh := uint(k % bitpack.WordBits)
+		flip := e.Flip[wi] >> sh & 1
+		for b := 0; b < B; b++ {
+			d := n - 2*int64(accs[b])
+			ge := uint64(((d-t[k])>>63)+1) & 1
+			out[b*outWPP+wi] |= (ge ^ flip) << sh
+		}
+	}
+}
+
+// ConvBatchEpilogueOr is ConvBatchEpilogue for the remaining positions of
+// a pool window: bits OR into out (no clear). A filter is skipped only
+// when every image in the batch already has its bit set — partial
+// saturation still pays one batched kernel call, but fully saturated
+// filters (common deep in a window) skip the popcounts for the whole
+// batch.
+func ConvBatchEpilogueOr(kernel XorPopBatchFunc, gather, fw []uint64, S int, n32 int32, e *Epilogue, accs []int32, out []uint64, outWPP int) {
+	B := len(accs)
+	if len(gather) != B*S {
+		panicSize("ConvBatchEpilogueOr", "gather", len(gather), B*S)
+	}
+	if len(fw) < e.K*S {
+		panicSize("ConvBatchEpilogueOr", "fw", len(fw), e.K*S)
+	}
+	if len(out) != B*outWPP {
+		panicSize("ConvBatchEpilogueOr", "out", len(out), B*outWPP)
+	}
+	t := e.T
+	n := int64(n32)
+	for k := 0; k < e.K; k++ {
+		wi := k / bitpack.WordBits
+		sh := uint(k % bitpack.WordBits)
+		mask := uint64(1) << sh
+		saturated := true
+		for b := 0; b < B; b++ {
+			if out[b*outWPP+wi]&mask == 0 {
+				saturated = false
+				break
+			}
+		}
+		if saturated {
+			continue // every lane already 1: OR can't change any of them
+		}
+		base := k * S
+		kernel(gather, fw[base:base+S:base+S], accs)
+		flip := e.Flip[wi] >> sh & 1
+		for b := 0; b < B; b++ {
+			d := n - 2*int64(accs[b])
+			ge := uint64(((d-t[k])>>63)+1) & 1
+			out[b*outWPP+wi] |= (ge ^ flip) << sh
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bitflow/internal/bitpack"
+)
+
+// refEpilogueBits is the naive unfused reference the fused epilogue must
+// match: per filter, accumulate popcounts one bit at a time, form the
+// pre-activation d = n - 2·acc, and evaluate the original two-branch
+// threshold (d ≥ T, or d ≤ T when flipped).
+func refEpilogueBits(rows [][]uint64, fw []uint64, fstride int, n int, t []int32, flip []bool) []bool {
+	bits := make([]bool, len(t))
+	for k := range t {
+		base := k * fstride
+		acc := 0
+		off := 0
+		for _, r := range rows {
+			acc += refXorPopBits(r, fw[base+off:base+off+len(r)])
+			off += len(r)
+		}
+		d := int64(n) - 2*int64(acc)
+		if flip[k] {
+			bits[k] = d <= int64(t[k])
+		} else {
+			bits[k] = d >= int64(t[k])
+		}
+	}
+	return bits
+}
+
+func packBools(bits []bool, wpp int) []uint64 {
+	out := make([]uint64, wpp)
+	for c, b := range bits {
+		if b {
+			out[c/bitpack.WordBits] |= 1 << uint(c%bitpack.WordBits)
+		}
+	}
+	return out
+}
+
+// epilogueCase is one randomized conv+threshold(+pool) instance.
+type epilogueCase struct {
+	K, KH, rowLen int
+	n             int
+	t             []int32
+	flip          []bool
+	fw            []uint64
+	// windows holds one gathered receptive field per pool-window position.
+	windows [][][]uint64
+}
+
+func randomCase(rng *rand.Rand, positions int) epilogueCase {
+	c := epilogueCase{
+		K:      1 + rng.Intn(130),
+		KH:     1 + rng.Intn(3),
+		rowLen: 1 + rng.Intn(5),
+	}
+	fstride := c.KH * c.rowLen
+	// n is the valid lane count; keep it inside the word capacity so d
+	// spans realistic positive and negative values.
+	c.n = 1 + rng.Intn(fstride*64)
+	c.t = make([]int32, c.K)
+	c.flip = make([]bool, c.K)
+	for k := range c.t {
+		switch rng.Intn(5) {
+		case 0:
+			c.t[k] = math.MaxInt32 // overflow probe for the T+1 adjustment
+		case 1:
+			c.t[k] = math.MinInt32 // the γ=0 constant encoding
+		default:
+			c.t[k] = int32(rng.Intn(2*c.n+1) - c.n)
+		}
+		c.flip[k] = rng.Intn(2) == 0
+	}
+	c.fw = make([]uint64, c.K*fstride)
+	for i := range c.fw {
+		c.fw[i] = rng.Uint64()
+	}
+	for p := 0; p < positions; p++ {
+		rows := make([][]uint64, c.KH)
+		for i := range rows {
+			r := make([]uint64, c.rowLen)
+			for j := range r {
+				r[j] = rng.Uint64()
+			}
+			rows[i] = r
+		}
+		c.windows = append(c.windows, rows)
+	}
+	return c
+}
+
+func (c *epilogueCase) fstride() int { return c.KH * c.rowLen }
+
+// refFused computes the OR of the per-position reference bits — the
+// unfused conv → threshold → binarize → max-pool answer.
+func (c *epilogueCase) refFused() []uint64 {
+	wpp := bitpack.WordsFor(c.K)
+	out := make([]uint64, wpp)
+	for _, rows := range c.windows {
+		bits := refEpilogueBits(rows, c.fw, c.fstride(), c.n, c.t, c.flip)
+		for w, v := range packBools(bits, wpp) {
+			out[w] |= v
+		}
+	}
+	return out
+}
+
+func checkCase(t *testing.T, c epilogueCase) {
+	t.Helper()
+	e := NewEpilogue(c.t, c.flip)
+	wpp := bitpack.WordsFor(c.K)
+	want := c.refFused()
+
+	// Serial fused path: first position overwrites, the rest OR in.
+	dst := make([]uint64, wpp+1) // +1 trailing word must be cleared by ConvEpilogue
+	for i := range dst {
+		dst[i] = ^uint64(0) // poison: stale bits must not survive
+	}
+	for p, rows := range c.windows {
+		if p == 0 {
+			ConvEpilogue(XorPopRows64, rows, c.fw, c.fstride(), int32(c.n), e, dst)
+		} else {
+			ConvEpilogueOr(XorPopRows64, rows, c.fw, c.fstride(), int32(c.n), e, dst)
+		}
+	}
+	for w := 0; w < wpp; w++ {
+		if dst[w] != want[w] {
+			t.Fatalf("ConvEpilogue(+Or) word %d = %016x, want %016x (K=%d KH=%d rowLen=%d n=%d pos=%d)",
+				w, dst[w], want[w], c.K, c.KH, c.rowLen, c.n, len(c.windows))
+		}
+	}
+	if dst[wpp] != 0 {
+		t.Fatalf("ConvEpilogue left trailing word %016x, want 0", dst[wpp])
+	}
+
+	// Batched fused path with B copies of the same image must agree with
+	// the serial answer lane-for-lane.
+	B := 3
+	S := c.fstride()
+	gather := make([]uint64, B*S)
+	accs := make([]int32, B)
+	out := make([]uint64, B*wpp)
+	for i := range out {
+		out[i] = ^uint64(0)
+	}
+	for p, rows := range c.windows {
+		for b := 0; b < B; b++ {
+			off := 0
+			for _, r := range rows {
+				copy(gather[b*S+off:], r)
+				off += len(r)
+			}
+		}
+		if p == 0 {
+			ConvBatchEpilogue(XorPopBatch64, gather, c.fw, S, int32(c.n), e, accs, out, wpp)
+		} else {
+			ConvBatchEpilogueOr(XorPopBatch64, gather, c.fw, S, int32(c.n), e, accs, out, wpp)
+		}
+	}
+	for b := 0; b < B; b++ {
+		for w := 0; w < wpp; w++ {
+			if out[b*wpp+w] != want[w] {
+				t.Fatalf("ConvBatchEpilogue(+Or) lane %d word %d = %016x, want %016x",
+					b, w, out[b*wpp+w], want[w])
+			}
+		}
+	}
+}
+
+func TestConvEpilogueMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		checkCase(t, randomCase(rng, 1+rng.Intn(4)))
+	}
+}
+
+func TestPackMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		K := 1 + rng.Intn(200)
+		tv := make([]int32, K)
+		flip := make([]bool, K)
+		d := make([]int32, K)
+		for k := 0; k < K; k++ {
+			switch rng.Intn(6) {
+			case 0:
+				tv[k] = math.MaxInt32
+			case 1:
+				tv[k] = math.MinInt32
+			default:
+				tv[k] = int32(rng.Intn(100) - 50)
+			}
+			flip[k] = rng.Intn(2) == 0
+			d[k] = int32(rng.Intn(100) - 50)
+		}
+		e := NewEpilogue(tv, flip)
+		wpp := bitpack.WordsFor(K)
+		dst := make([]uint64, wpp+1)
+		for i := range dst {
+			dst[i] = ^uint64(0)
+		}
+		e.Pack(d, dst)
+		want := make([]uint64, wpp)
+		for k := 0; k < K; k++ {
+			var on bool
+			if flip[k] {
+				on = d[k] <= tv[k]
+			} else {
+				on = d[k] >= tv[k]
+			}
+			if on {
+				want[k/bitpack.WordBits] |= 1 << uint(k%bitpack.WordBits)
+			}
+		}
+		for w := 0; w < wpp; w++ {
+			if dst[w] != want[w] {
+				t.Fatalf("Pack word %d = %016x, want %016x (K=%d)", w, dst[w], want[w], K)
+			}
+		}
+		if dst[wpp] != 0 {
+			t.Fatalf("Pack left trailing word %016x, want 0", dst[wpp])
+		}
+
+		// PackOr over two halves must equal the OR of two Packs.
+		d2 := make([]int32, K)
+		for k := range d2 {
+			d2[k] = int32(rng.Intn(100) - 50)
+		}
+		or := make([]uint64, wpp)
+		e.Pack(d, or)
+		e.PackOr(d2, or)
+		tmp := make([]uint64, wpp)
+		e.Pack(d2, tmp)
+		for w := 0; w < wpp; w++ {
+			if or[w] != want[w]|tmp[w] {
+				t.Fatalf("PackOr word %d = %016x, want %016x", w, or[w], want[w]|tmp[w])
+			}
+		}
+	}
+}
+
+// TestSignEpilogueIsPlainSign pins NewSignEpilogue to Equation 3.
+func TestSignEpilogueIsPlainSign(t *testing.T) {
+	e := NewSignEpilogue(3)
+	dst := make([]uint64, 1)
+	e.Pack([]int32{-1, 0, 5}, dst)
+	if dst[0] != 0b110 {
+		t.Fatalf("sign epilogue packed %03b, want 110", dst[0])
+	}
+}
+
+// FuzzFusedEpilogue drives the fused conv→threshold→binarize(→pool)
+// ladder against the naive unfused reference over arbitrary shapes,
+// thresholds, flips, and pool-window position counts derived from the
+// fuzz input.
+func FuzzFusedEpilogue(f *testing.F) {
+	f.Add(int64(1), uint8(1))
+	f.Add(int64(-99), uint8(4))
+	f.Add(int64(math.MaxInt64), uint8(2))
+	f.Add(int64(424242), uint8(9))
+	f.Fuzz(func(t *testing.T, seed int64, positions uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		checkCase(t, randomCase(rng, 1+int(positions%6)))
+	})
+}
+
+// FuzzEpiloguePack checks Pack/PackOr against the two-branch reference
+// on raw byte-derived pre-activations and thresholds.
+func FuzzEpiloguePack(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x80, 0x00, 0x01, 0xFF, 0x7F, 0xFE, 0x10, 0x20, 0x30})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Layout: per channel 4 bytes d, 4 bytes T, 1 byte flip.
+		K := len(data) / 9
+		if K == 0 {
+			return
+		}
+		d := make([]int32, K)
+		tv := make([]int32, K)
+		flip := make([]bool, K)
+		for k := 0; k < K; k++ {
+			off := k * 9
+			d[k] = int32(binary.LittleEndian.Uint32(data[off:]))
+			tv[k] = int32(binary.LittleEndian.Uint32(data[off+4:]))
+			flip[k] = data[off+8]&1 == 1
+		}
+		e := NewEpilogue(tv, flip)
+		wpp := bitpack.WordsFor(K)
+		dst := make([]uint64, wpp)
+		e.Pack(d, dst)
+		for k := 0; k < K; k++ {
+			var want bool
+			if flip[k] {
+				want = d[k] <= tv[k]
+			} else {
+				want = d[k] >= tv[k]
+			}
+			got := dst[k/bitpack.WordBits]>>uint(k%bitpack.WordBits)&1 == 1
+			if got != want {
+				t.Fatalf("channel %d: d=%d T=%d flip=%v: got %v, want %v", k, d[k], tv[k], flip[k], got, want)
+			}
+		}
+	})
+}

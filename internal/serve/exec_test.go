@@ -149,7 +149,8 @@ func TestServeSharedPoolStatusz(t *testing.T) {
 			t.Errorf("layer %q has empty stats: %+v", ls.Name, ls)
 		}
 	}
-	for _, name := range []string{"input", "c1", "p1", "d1"} {
+	// c1 and p1 fuse at build time and report under the joined name.
+	for _, name := range []string{"input", "c1+p1", "d1"} {
 		if !seen[name] {
 			t.Errorf("layer %q missing from statusz layer stats (got %v)", name, seen)
 		}

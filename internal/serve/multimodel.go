@@ -261,6 +261,7 @@ func metaFromNetwork(net *graph.Network) Meta {
 		InputH: net.InH, InputW: net.InW, InputC: net.InC,
 		Classes:         net.Classes,
 		Layers:          len(net.Layers()),
+		FusedLayers:     net.Fusion().Pairs,
 		Weights:         ms.Weights,
 		PackedBytes:     ms.BinarizedBytes,
 		CompressionRate: ms.Compression(),
@@ -421,6 +422,21 @@ func (s *Server) LastReload(name string) *registry.ReloadStatus {
 		return nil
 	}
 	return m.rm.LastReload()
+}
+
+// ModelMeta returns the live /model metadata for a named model
+// ("" = default) — after a hot reload, the metadata of the serving
+// version, not the boot-time one.
+func (s *Server) ModelMeta(name string) (Meta, error) {
+	m, ok := s.lookup(name)
+	if !ok {
+		return Meta{}, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	meta := m.meta
+	if rs := m.currentSet(); rs != nil {
+		meta = rs.meta
+	}
+	return meta, nil
 }
 
 // IntrospectModel is Introspect for a named model ("" = default).

@@ -217,6 +217,7 @@ type Meta struct {
 	InputC          int     `json:"input_c"`
 	Classes         int     `json:"classes"`
 	Layers          int     `json:"layers"`
+	FusedLayers     int     `json:"fused_layers"`
 	Weights         int64   `json:"weights"`
 	PackedBytes     int64   `json:"packed_bytes"`
 	CompressionRate float64 `json:"compression"`

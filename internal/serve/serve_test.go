@@ -71,7 +71,8 @@ func TestModelMetadata(t *testing.T) {
 	if m.Name != "srv" || m.Classes != 4 || m.InputH != 8 || m.InputC != 64 {
 		t.Errorf("meta %+v", m)
 	}
-	if m.Replicas != 2 || m.Layers != 3 {
+	// conv+pool fuse into one node, so the 3 declared layers serve as 2.
+	if m.Replicas != 2 || m.Layers != 2 || m.FusedLayers != 1 {
 		t.Errorf("meta %+v", m)
 	}
 	if m.Weights == 0 || m.PackedBytes == 0 {
