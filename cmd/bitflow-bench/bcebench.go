@@ -1,0 +1,324 @@
+// The `ops` subcommand's second half benchmarks the BCE sweep: every
+// kernel inner loop was restructured into the cursor/chunk-advance shape
+// the compiler's bounds-check-elimination prover discharges (pinned by
+// `bitflow-vet codegen` and TestHotLoopsCompilerVerified). This file
+// keeps faithful copies of the pre-sweep loop shapes — indexed loops
+// whose bounds checks survive — and times both forms on identical
+// inputs, emitting BENCH_bce.json:
+//
+//   - XorPopcount: the unrolled ladder, indexed `a[i+3]` form vs the
+//     chunk-advance form;
+//   - BGemm: the `ki*wpr` offset-arithmetic column loop vs the cursor
+//     form;
+//   - epilogue: the per-channel `dst[c/64] |= ...` scatter (Pack) and the
+//     per-filter indexed conv ladder (ConvEpilogue) vs the word-major
+//     cursor forms.
+//
+// Outputs are compared word-for-word before any timing is reported, so a
+// speedup can never come from a divergent computation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/bits"
+	"os"
+	"time"
+
+	"bitflow/internal/bench"
+	"bitflow/internal/bitpack"
+	"bitflow/internal/kernels"
+	"bitflow/internal/sched"
+	"bitflow/internal/workload"
+)
+
+var flagBCEOut = flag.String("bce-out", "BENCH_bce.json", "output path for the `ops` subcommand's BCE report")
+
+type bceRow struct {
+	Name string `json:"name"` // e.g. "XorPopcount/256"
+	// Per-call medians of -runs samples, before (indexed loops, surviving
+	// bounds checks) and after (cursor loops, compiler-verified).
+	BeforeNsOp float64 `json:"before_ns_op"`
+	AfterNsOp  float64 `json:"after_ns_op"`
+	Speedup    float64 `json:"speedup"`
+	BitExact   bool    `json:"bit_exact"`
+}
+
+type bceReport struct {
+	Features string   `json:"features"`
+	Cores    int      `json:"cores"`
+	Kernels  []bceRow `json:"kernels"`
+	Improved int      `json:"improved"` // rows with speedup > 1
+}
+
+// runOpsBench is the full `ops` subcommand: the fused data-flow
+// comparison (BENCH_fusion.json) followed by the BCE sweep microbenches
+// (BENCH_bce.json).
+func runOpsBench(feat sched.Features) error {
+	if err := runFusionBench(feat); err != nil {
+		return err
+	}
+	return runBCEBench(feat)
+}
+
+func runBCEBench(feat sched.Features) error {
+	iters := 2000
+	words := 392 // fc6 row: N = 25088 bits
+	m, kDim := 64, 256
+	convK, fstride, kh := 256, 12, 3
+	if *flagQuick {
+		iters, words, m, kDim, convK = 400, 98, 16, 64, 64
+	}
+	rng := workload.NewRNG(*flagSeed + 11)
+
+	rep := bceReport{Features: fmt.Sprint(feat), Cores: bench.PhysicalCores()}
+	fmt.Println("== BCE sweep: indexed loops (before) vs compiler-verified cursor loops (after) ==")
+	tbl := bench.NewTable("kernel", "before", "after", "speedup", "bit-exact")
+
+	add := func(name string, perOpBefore, perOpAfter time.Duration, exact bool) {
+		row := bceRow{
+			Name:       name,
+			BeforeNsOp: round2(float64(perOpBefore.Nanoseconds())),
+			AfterNsOp:  round2(float64(perOpAfter.Nanoseconds())),
+			BitExact:   exact,
+		}
+		if perOpAfter > 0 {
+			row.Speedup = round2(float64(perOpBefore) / float64(perOpAfter))
+		}
+		if row.Speedup > 1 {
+			rep.Improved++
+		}
+		rep.Kernels = append(rep.Kernels, row)
+		tbl.Row(name, fmt.Sprintf("%.0f ns", row.BeforeNsOp), fmt.Sprintf("%.0f ns", row.AfterNsOp),
+			fmt.Sprintf("%.2fx", row.Speedup), fmt.Sprintf("%v", exact))
+	}
+	// perOp medians the total of `iters` back-to-back calls and divides.
+	perOp := func(f func()) time.Duration {
+		return bench.Measure(*flagRuns, 10*time.Millisecond, f) / time.Duration(iters)
+	}
+
+	// XorPopcount: the 4-wide ladder on an fc-sized row.
+	a, b := randWords(rng, words), randWords(rng, words)
+	if got, want := legacyXorPop256(a, b), kernels.XorPop256(a, b); got != want {
+		return fmt.Errorf("XorPopcount before/after disagree: %d vs %d", got, want)
+	}
+	sink := 0
+	before := perOp(func() {
+		for i := 0; i < iters; i++ {
+			sink += legacyXorPop256(a, b)
+		}
+	})
+	after := perOp(func() {
+		for i := 0; i < iters; i++ {
+			sink += kernels.XorPop256(a, b)
+		}
+	})
+	add("XorPopcount/256", before, after, true)
+
+	// BGemm: M packed rows against K packed rows, serial (the kernel
+	// loop shape is what changed; threading is identical either way).
+	wpr := words
+	n := wpr * bitpack.WordBits
+	am := randWords(rng, m*wpr)
+	bT := randWords(rng, kDim*wpr)
+	outB := make([]int32, m*kDim)
+	outA := make([]int32, m*kDim)
+	gemmIters := 1 + iters/100
+	legacyBGemm(am, m, bT, kDim, wpr, n, outB)
+	kernels.BGemm(am, m, bT, kDim, wpr, n, outA, kernels.BGemmOpts{Kernel: kernels.XorPop256})
+	exact := int32SlicesEqual(outB, outA)
+	before = bench.Measure(*flagRuns, 10*time.Millisecond, func() {
+		for i := 0; i < gemmIters; i++ {
+			legacyBGemm(am, m, bT, kDim, wpr, n, outB)
+		}
+	}) / time.Duration(gemmIters)
+	after = bench.Measure(*flagRuns, 10*time.Millisecond, func() {
+		for i := 0; i < gemmIters; i++ {
+			kernels.BGemm(am, m, bT, kDim, wpr, n, outA, kernels.BGemmOpts{Kernel: kernels.XorPop256})
+		}
+	}) / time.Duration(gemmIters)
+	add("BGemm", before, after, exact)
+
+	// Epilogue.Pack: K pre-activations thresholded into packed bits.
+	ep := randEpilogue(rng, convK)
+	d := make([]int32, convK)
+	for i := range d {
+		d[i] = int32(rng.Intn(2048) - 1024)
+	}
+	dstB := make([]uint64, bitpack.WordsFor(convK))
+	dstA := make([]uint64, bitpack.WordsFor(convK))
+	legacyPack(ep, d, dstB)
+	ep.Pack(d, dstA)
+	exact = wordSlicesEqual(dstB, dstA)
+	before = perOp(func() {
+		for i := 0; i < iters; i++ {
+			legacyPack(ep, d, dstB)
+		}
+	})
+	after = perOp(func() {
+		for i := 0; i < iters; i++ {
+			ep.Pack(d, dstA)
+		}
+	})
+	add("Epilogue/pack", before, after, exact)
+
+	// ConvEpilogue: the fused accumulate→threshold→set-bit ladder for one
+	// output pixel, K filters of kh rows.
+	rows := make([][]uint64, kh)
+	for i := range rows {
+		rows[i] = randWords(rng, fstride/kh)
+	}
+	fw := randWords(rng, convK*fstride)
+	n32 := int32(fstride * bitpack.WordBits)
+	legacyConvEpilogue(kernels.XorPopRows64, rows, fw, fstride, n32, ep, dstB)
+	kernels.ConvEpilogue(kernels.XorPopRows64, rows, fw, fstride, n32, ep, dstA)
+	exact = wordSlicesEqual(dstB, dstA)
+	convIters := 1 + iters/10
+	before = bench.Measure(*flagRuns, 10*time.Millisecond, func() {
+		for i := 0; i < convIters; i++ {
+			legacyConvEpilogue(kernels.XorPopRows64, rows, fw, fstride, n32, ep, dstB)
+		}
+	}) / time.Duration(convIters)
+	after = bench.Measure(*flagRuns, 10*time.Millisecond, func() {
+		for i := 0; i < convIters; i++ {
+			kernels.ConvEpilogue(kernels.XorPopRows64, rows, fw, fstride, n32, ep, dstA)
+		}
+	}) / time.Duration(convIters)
+	add("Epilogue/conv", before, after, exact)
+
+	tbl.Render(os.Stdout)
+	_ = sink
+	for _, r := range rep.Kernels {
+		if !r.BitExact {
+			return fmt.Errorf("bce bench: %s before/after outputs differ", r.Name)
+		}
+	}
+	fmt.Printf("%d of %d microbenches improved\n\n", rep.Improved, len(rep.Kernels))
+
+	f, err := os.Create(*flagBCEOut)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *flagBCEOut)
+	return nil
+}
+
+func randWords(rng *workload.RNG, n int) []uint64 {
+	w := make([]uint64, n)
+	for i := range w {
+		w[i] = rng.Uint64()
+	}
+	return w
+}
+
+// randEpilogue builds a K-channel epilogue with mixed thresholds and
+// roughly half the channels flipped.
+func randEpilogue(rng *workload.RNG, k int) *kernels.Epilogue {
+	t := make([]int32, k)
+	flip := make([]bool, k)
+	for i := range t {
+		t[i] = int32(rng.Intn(1024) - 512)
+		flip[i] = rng.Uint64()&1 == 1
+	}
+	return kernels.NewEpilogue(t, flip)
+}
+
+func int32SlicesEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func wordSlicesEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- pre-sweep loop shapes, kept verbatim as the "before" baseline ----
+
+// legacyXorPop256 is the old indexed ladder: the i+3 guard does not prove
+// b[i..i+3] in bounds, so four IsInBounds checks survive per step.
+func legacyXorPop256(a, b []uint64) int {
+	if len(a) != len(b) {
+		panic("legacyXorPop256: length mismatch")
+	}
+	var acc0, acc1, acc2, acc3 int
+	for i := 0; i+3 < len(a); i += 4 {
+		acc0 += bits.OnesCount64(a[i] ^ b[i])
+		acc1 += bits.OnesCount64(a[i+1] ^ b[i+1])
+		acc2 += bits.OnesCount64(a[i+2] ^ b[i+2])
+		acc3 += bits.OnesCount64(a[i+3] ^ b[i+3])
+	}
+	return (acc0 + acc1) + (acc2 + acc3)
+}
+
+// legacyBGemm is the old offset-arithmetic column loop: every B row and
+// output element is addressed by ki*wpr / mi*k+ki multiplies whose bounds
+// checks the prover cannot eliminate.
+func legacyBGemm(a []uint64, m int, bT []uint64, k, wpr, n int, out []int32) {
+	n32 := int32(n)
+	for mi := 0; mi < m; mi++ {
+		arow := a[mi*wpr : (mi+1)*wpr]
+		for ki := 0; ki < k; ki++ {
+			brow := bT[ki*wpr : (ki+1)*wpr]
+			out[mi*k+ki] = n32 - 2*int32(kernels.XorPop256(arow, brow))
+		}
+	}
+}
+
+// legacyPack is the old per-element threshold pass: one compare branch
+// and one checked dst[c/64] scatter per channel.
+func legacyPack(e *kernels.Epilogue, d []int32, dst []uint64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for c := 0; c < e.K; c++ {
+		var ge uint64
+		if int64(d[c]) >= e.T[c] {
+			ge = 1
+		}
+		dst[c/bitpack.WordBits] |= ge << uint(c%bitpack.WordBits)
+	}
+	for w := 0; w < len(e.Flip); w++ {
+		dst[w] ^= e.Flip[w]
+	}
+}
+
+// legacyConvEpilogue is the old filter-major conv ladder: the filter
+// block and destination word are indexed per filter, leaving a checked
+// slice and a checked scatter inside the K loop.
+func legacyConvEpilogue(f kernels.XorPopRowsFunc, rows [][]uint64, fw []uint64, fstride int, n32 int32, e *kernels.Epilogue, dst []uint64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	n := int64(n32)
+	for k := 0; k < e.K; k++ {
+		acc := f(rows, fw[k*fstride:(k+1)*fstride])
+		d := n - 2*int64(acc)
+		ge := uint64(((d-e.T[k])>>63)+1) & 1
+		dst[k/bitpack.WordBits] |= ge << uint(k%bitpack.WordBits)
+	}
+	for w := 0; w < len(e.Flip); w++ {
+		dst[w] ^= e.Flip[w]
+	}
+}

@@ -11,7 +11,8 @@
 //	bitflow-bench sweep   # extension: kernel-tier sweep over channel counts
 //	bitflow-bench batch   # extension: micro-batching throughput → BENCH_batch.json
 //	bitflow-bench exec    # extension: spawn-per-call vs pooled dispatch → BENCH_exec.json
-//	bitflow-bench ops     # extension: fused vs unfused conv+pool data-flow → BENCH_fusion.json
+//	bitflow-bench ops     # extension: fused vs unfused conv+pool data-flow → BENCH_fusion.json,
+//	                      # plus before/after BCE kernel microbenches → BENCH_bce.json
 //	bitflow-bench all     # everything above
 //
 // Flags:
@@ -80,7 +81,7 @@ func main() {
 	case "exec":
 		run("exec", runExecBench)
 	case "ops":
-		run("ops", runFusionBench)
+		run("ops", runOpsBench)
 	case "autoscale":
 		run("autoscale", runAutoscaleBench)
 	case "all":
@@ -91,7 +92,7 @@ func main() {
 			{"ait", runAIT}, {"fig7", runFig7}, {"fig8", runFig8}, {"fig9", runFig9},
 			{"fig10", runFig10}, {"fig11", runFig11}, {"table5", runTable5},
 			{"sweep", runSweep}, {"batch", runBatchBench}, {"exec", runExecBench},
-			{"ops", runFusionBench},
+			{"ops", runOpsBench},
 		} {
 			run(sub.name, sub.f)
 		}

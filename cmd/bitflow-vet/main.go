@@ -9,9 +9,14 @@
 //	-enable string     comma-separated analyzers to run (default: all)
 //	-disable string    comma-separated analyzers to skip
 //	-json              emit findings as JSON on stdout
+//	-findings-only     with -json, emit only the findings array (stable
+//	                   across file-count changes; the committed CI
+//	                   baseline is diffed against this form)
 //	-exit-zero         exit 0 even when there are findings (CI artifact
 //	                   collection; the gating step runs without it)
 //	-list              print the available analyzers and exit
+//	-lock-order        print the discovered canonical lock acquisition
+//	                   order and exit (no findings run)
 //
 // Exit codes: 0 no findings (or -exit-zero), 1 findings, 2 usage or
 // load error. The exit code does not depend on -json: a findings run
@@ -36,12 +41,14 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("bitflow-vet", flag.ContinueOnError)
 	var (
-		dir      = fs.String("dir", ".", "module directory to analyze")
-		enable   = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
-		disable  = fs.String("disable", "", "comma-separated analyzers to skip")
-		jsonOut  = fs.Bool("json", false, "emit findings as JSON on stdout")
-		exitZero = fs.Bool("exit-zero", false, "exit 0 even when there are findings")
-		list     = fs.Bool("list", false, "print the available analyzers and exit")
+		dir       = fs.String("dir", ".", "module directory to analyze")
+		enable    = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable   = fs.String("disable", "", "comma-separated analyzers to skip")
+		jsonOut   = fs.Bool("json", false, "emit findings as JSON on stdout")
+		findOnly  = fs.Bool("findings-only", false, "with -json, emit only the findings array")
+		exitZero  = fs.Bool("exit-zero", false, "exit 0 even when there are findings")
+		list      = fs.Bool("list", false, "print the available analyzers and exit")
+		lockOrder = fs.Bool("lock-order", false, "print the discovered lock acquisition order and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,19 +74,37 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "bitflow-vet:", err)
 		return 2
 	}
+	if *lockOrder {
+		ordered, isolated := analysis.DiscoveredLockOrder(prog)
+		if len(ordered) == 0 {
+			fmt.Println("no nested lock acquisitions: any order is safe")
+		} else {
+			fmt.Println("canonical lock acquisition order (acquire earlier classes first):")
+			for i, c := range ordered {
+				fmt.Printf("  %d. %s\n", i+1, c)
+			}
+		}
+		for _, c := range isolated {
+			fmt.Printf("  isolated (never nested): %s\n", c)
+		}
+		return 0
+	}
 	findings := analysis.Run(prog, analyzers)
 
 	if *jsonOut {
-		report := struct {
-			Findings []analysis.Finding `json:"findings"`
-			Files    int                `json:"files"`
-		}{Findings: findings, Files: prog.NumFiles()}
-		if report.Findings == nil {
-			report.Findings = []analysis.Finding{}
+		if findings == nil {
+			findings = []analysis.Finding{}
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
+		var payload any = struct {
+			Findings []analysis.Finding `json:"findings"`
+			Files    int                `json:"files"`
+		}{Findings: findings, Files: prog.NumFiles()}
+		if *findOnly {
+			payload = findings
+		}
+		if err := enc.Encode(payload); err != nil {
 			fmt.Fprintln(os.Stderr, "bitflow-vet:", err)
 			return 2
 		}

@@ -12,7 +12,14 @@
 //   - every panic on a serving path is dominated by resilience.Safe so a
 //     replica re-clones instead of the process dying — panicpath;
 //   - the adaptive control loop stays mechanism-free and actuates only
-//     through the exported resize/retune APIs — actuate.
+//     through the exported resize/retune APIs — actuate;
+//   - the hot path is compiler-verified: no heap escapes in the hot
+//     graph and no surviving bounds checks in kernels, straight from
+//     `-gcflags='-m=2 -d=ssa/check_bce'` diagnostics — codegen;
+//   - a field touched through sync/atomic anywhere is touched atomically
+//     everywhere, and atomic-bearing values are never copied — atomics;
+//   - the whole-program mutex-acquisition graph (reload lock, gates,
+//     batcher, control ledger) stays acyclic — lockorder.
 //
 // Each analyzer walks the fully type-checked module (stdlib go/ast +
 // go/types; packages are loaded via `go list -export`, so no external
@@ -22,12 +29,15 @@
 // Intentional exceptions are annotated in the source, never configured
 // out of the analyzer:
 //
-//	//bitflow:alloc-ok <justification>   (hotalloc, fusion)
+//	//bitflow:alloc-ok <justification>   (hotalloc, fusion, codegen escapes)
 //	//bitflow:go-ok <justification>      (rawgo)
 //	//bitflow:panic-ok <justification>   (panicpath)
 //	//bitflow:actuate-ok <justification> (actuate)
 //	//bitflow:fusion-ok <justification>  (fusion)
-//	//bitflow:hot                        (extra hotalloc/fusion root)
+//	//bitflow:bce-ok <justification>     (codegen bounds checks; on a line or a whole function)
+//	//bitflow:atomic-ok <justification>  (atomics)
+//	//bitflow:lock-ok <justification>    (lockorder)
+//	//bitflow:hot                        (extra hotalloc/fusion/codegen root)
 //
 // A marker with an empty justification is itself a finding.
 package analysis
@@ -72,12 +82,24 @@ type Program struct {
 	Fset *token.FileSet
 	Pkgs []*Package
 
+	// Dir is the absolute directory Load resolved patterns in — the
+	// working directory codegen's `go build` driver compiles from.
+	Dir string
+
 	// directives maps file name -> line -> parsed //bitflow: directive.
 	directives map[string]map[int]*Directive
 
 	// cg is the lazily built whole-program call graph shared by hotalloc
 	// and panicpath.
 	cg *callGraph
+
+	// diagSource produces the compiler diagnostics codegen consumes.
+	// Load leaves it nil (the go-build driver); LoadFixture installs the
+	// //codegen: marker synthesizer. The result is cached after one run.
+	diagSource func(*Program) ([]CompilerDiag, error)
+	diags      []CompilerDiag
+	diagsErr   error
+	diagsDone  bool
 }
 
 // Analyzer is one named rule over a Program. Unlike go/analysis this is
@@ -91,7 +113,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{RawGo, ThreadsInt, HotAlloc, PanicPath, Actuate, Fusion}
+	return []*Analyzer{RawGo, ThreadsInt, HotAlloc, PanicPath, Actuate, Fusion, Codegen, Atomics, LockOrder}
 }
 
 // Run executes the given analyzers and returns their findings sorted by

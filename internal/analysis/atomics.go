@@ -1,0 +1,312 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Atomics enforces the serving stack's atomicity discipline:
+//
+//  1. Mixed access: a variable or field passed by address to a
+//     sync/atomic function anywhere in the module (atomic.AddInt64(&x),
+//     atomic.StorePointer(&p, ...)) must be accessed through sync/atomic
+//     everywhere — one plain `x++` next to an atomic.AddInt64 is a data
+//     race the type system cannot see. (The repo's own code uses the
+//     typed atomic.Int64/Bool/Pointer wrappers, which make this rule
+//     unviolatable; the rule exists to keep old-style usage from
+//     sneaking back in.)
+//  2. No copies: a value whose type contains a sync/atomic type
+//     (atomic.Int64, atomic.Pointer[T], atomic.Value, ...) must never be
+//     copied — not assigned, not passed by value, not ranged into, not
+//     returned. A copied atomic is a silently forked counter or a torn
+//     pointer cell.
+//
+// //bitflow:atomic-ok <reason> excuses a deliberate exception.
+var Atomics = &Analyzer{
+	Name: "atomics",
+	Doc:  "sync/atomic fields accessed atomically everywhere; atomic-bearing values never copied",
+	Run:  runAtomics,
+}
+
+func runAtomics(p *Program) []Finding {
+	var out []Finding
+	out = append(out, p.mixedAtomicAccess()...)
+	out = append(out, p.atomicCopies()...)
+	return out
+}
+
+// mixedAtomicAccess implements rule 1: collect every variable whose
+// address feeds a sync/atomic call, then flag plain (non-atomic) uses of
+// those variables.
+func (p *Program) mixedAtomicAccess() []Finding {
+	atomicVars := map[*types.Var]string{} // var -> first atomic call site (for the message)
+	atomicUses := map[ast.Node]bool{}     // the &x operands inside atomic calls, exempt from pass 2
+
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				// Typed-atomic methods (atomic.Int64.Add, ...) have a
+				// receiver; only package-level functions take &x.
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op.String() != "&" {
+						continue
+					}
+					target := ast.Unparen(un.X)
+					v := referencedVar(pkg.Info, target)
+					if v == nil {
+						continue
+					}
+					atomicUses[target] = true
+					if _, seen := atomicVars[v]; !seen {
+						pos := p.Fset.Position(call.Pos())
+						atomicVars[v] = shortPos(pos.Filename, pos.Line)
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	var out []Finding
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var v *types.Var
+				switch x := n.(type) {
+				case *ast.SelectorExpr:
+					v = referencedVar(pkg.Info, x)
+					if v == nil {
+						return true
+					}
+				case *ast.Ident:
+					obj, ok := pkg.Info.Uses[x].(*types.Var)
+					if !ok || obj.IsField() {
+						return true // fields are matched via their SelectorExpr
+					}
+					v = obj
+				default:
+					return true
+				}
+				site, tracked := atomicVars[v]
+				if !tracked || atomicUses[n] {
+					return true
+				}
+				out = append(out, p.excusable("atomics", n.Pos(), "atomic-ok",
+					v.Name()+" is accessed via sync/atomic (first at "+site+
+						") but plainly here; every access must go through sync/atomic, or annotate //bitflow:atomic-ok <reason>")...)
+				return false
+			})
+		}
+	}
+	return out
+}
+
+// referencedVar resolves an expression to the variable it denotes: a
+// plain identifier or a field selection (s.f, s.a.f).
+func referencedVar(info *types.Info, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+			return nil
+		}
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// atomicCopies implements rule 2: flag every site that copies a value of
+// an atomic-bearing type.
+func (p *Program) atomicCopies() []Finding {
+	var out []Finding
+	for _, pkg := range p.Pkgs {
+		info := pkg.Info
+		flag := func(n ast.Node, t types.Type, how string) {
+			out = append(out, p.excusable("atomics", n.Pos(), "atomic-ok",
+				how+" copies "+types.TypeString(t, types.RelativeTo(pkg.Types))+
+					", which contains a sync/atomic value; share it by pointer or annotate //bitflow:atomic-ok <reason>")...)
+		}
+		// copiesValue reports whether evaluating e produces a copy of an
+		// existing atomic-bearing value (reading a variable, field,
+		// element, or dereference — as opposed to constructing a fresh
+		// one with a composite literal).
+		copiesValue := func(e ast.Expr) (types.Type, bool) {
+			e = ast.Unparen(e)
+			switch e.(type) {
+			case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.CallExpr:
+			default:
+				return nil, false
+			}
+			tv, ok := info.Types[e]
+			if !ok || tv.Type == nil || tv.IsType() {
+				return nil, false
+			}
+			if !containsAtomic(tv.Type, nil) {
+				return nil, false
+			}
+			return tv.Type, true
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					for i, rhs := range x.Rhs {
+						if i < len(x.Lhs) {
+							if id, ok := ast.Unparen(x.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+								continue
+							}
+						}
+						if t, bad := copiesValue(rhs); bad {
+							flag(rhs, t, "assignment")
+						}
+					}
+				case *ast.RangeStmt:
+					if x.Value != nil {
+						// A `:=` range defines the value ident, so its type
+						// lives in Defs; only an `=` range records it in Types.
+						var t types.Type
+						if id, ok := ast.Unparen(x.Value).(*ast.Ident); ok {
+							if obj := info.Defs[id]; obj != nil {
+								t = obj.Type()
+							}
+						}
+						if t == nil {
+							if tv, ok := info.Types[x.Value]; ok {
+								t = tv.Type
+							}
+						}
+						if t != nil && containsAtomic(t, nil) {
+							flag(x.Value, t, "range")
+						}
+					}
+				case *ast.CallExpr:
+					if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+						return true // conversion; any copy it feeds is flagged at the enclosing statement
+					}
+					if isBuiltin(info, x, "panic") {
+						return false
+					}
+					for _, arg := range x.Args {
+						if t, bad := copiesValue(arg); bad {
+							flag(arg, t, "by-value argument")
+						}
+					}
+				case *ast.ReturnStmt:
+					for _, res := range x.Results {
+						if t, bad := copiesValue(res); bad {
+							flag(res, t, "return")
+						}
+					}
+				case *ast.KeyValueExpr:
+					if t, bad := copiesValue(x.Value); bad {
+						flag(x.Value, t, "composite-literal field")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// containsAtomic reports whether t is, or contains (struct field, array
+// element, embedded), a type declared in sync/atomic.
+func containsAtomic(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsAtomic(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsAtomic(u.Elem(), seen)
+	}
+	return false
+}
+
+// shortPos renders file:line with the directory stripped — enough to
+// locate the companion site in a finding message.
+func shortPos(file string, line int) string {
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// sortFindings orders findings deterministically (used by analyzers that
+// build findings from map iteration).
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Message < b.Message
+	})
+}

@@ -131,6 +131,16 @@ func buildCallGraph(p *Program) *callGraph {
 	return g
 }
 
+// declNode returns the node for a function declaration (nil if the
+// declaration has no body or no resolved object).
+func (g *callGraph) declNode(pkg *Package, fd *ast.FuncDecl) *funcNode {
+	obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return g.byObj[obj]
+}
+
 // litNode returns (creating if needed) the node for a literal inside pkg.
 func (g *callGraph) litNode(p *Program, pkg *Package, lit *ast.FuncLit) *funcNode {
 	if n, ok := g.byLit[lit]; ok {

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzCompilerDiagParser hardens the compiler-output parser against
+// arbitrary build output. Three properties are enforced on every parsed
+// diagnostic, for any input:
+//
+//   - positions are positive and files are absolute, cleaned paths;
+//   - the diagnostic is attributable: some input line decomposes as
+//     file:line:col: message with exactly the recorded position, file,
+//     and kind/subject (re-derived right-to-left, independently of the
+//     parser's left-to-right regex) — a diagnostic can never point at a
+//     file or line the input did not name;
+//   - the parser never panics (implicit).
+func FuzzCompilerDiagParser(f *testing.F) {
+	seeds := []string{
+		"internal/kernels/xorpop.go:21:7: Found IsSliceInBounds",
+		"/abs/epilogue.go:118:14: Found IsInBounds",
+		"internal/core/multibase.go:92:6: moved to heap: inRows",
+		"cmd/bitflow-serve/main.go:40:13: &Server{...} escapes to heap",
+		"a.go:5:3: x escapes to heap:",
+		"# bitflow/internal/kernels",
+		"a.go:5:3: inlining call to DotRef",
+		"a.go:0:3: Found IsInBounds",
+		"a.go:5:-3: Found IsInBounds",
+		":5:3: Found IsInBounds",
+		"x:15:3: y:5:3: Found IsInBounds",
+		"a.go:1:2: b:3:4: x escapes to heap",
+		"a.go:05:3: Found IsInBounds",
+		"a.go:99999999999999999999:3: Found IsInBounds",
+		"dup.go:1:1: Found IsInBounds\ndup.go:1:1: Found IsInBounds",
+		"rel/../kernels/dot.go:9:2: moved to heap: acc",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		const base = "/fuzz/base"
+		diags := ParseCompilerDiags([]byte(input), base)
+		lines := strings.Split(input, "\n")
+		for _, d := range diags {
+			if d.Line <= 0 || d.Col <= 0 {
+				t.Fatalf("non-positive position %d:%d parsed from %q", d.Line, d.Col, input)
+			}
+			if !filepath.IsAbs(d.File) || d.File != filepath.Clean(d.File) {
+				t.Fatalf("file %q is not an absolute cleaned path (input %q)", d.File, input)
+			}
+			if !attributable(d, lines, base) {
+				t.Fatalf("diag %+v is not attributable to any line of %q", d, input)
+			}
+		}
+	})
+}
+
+// attributable reports whether some input line reconstructs exactly to
+// the parsed diagnostic: trailing message for the diag's kind/subject,
+// then ":<digits>" column, then ":<digits>" line, then a non-empty file
+// that resolves (against base) to the recorded absolute path.
+func attributable(d CompilerDiag, lines []string, base string) bool {
+	var msgs []string
+	switch d.Kind {
+	case DiagBounds:
+		msgs = []string{"Found IsInBounds"}
+	case DiagSliceBounds:
+		msgs = []string{"Found IsSliceInBounds"}
+	case DiagMoved:
+		msgs = []string{"moved to heap: " + d.Subject}
+	case DiagEscape:
+		msgs = []string{d.Subject + " escapes to heap", d.Subject + " escapes to heap:"}
+	default:
+		return false
+	}
+	for _, l := range lines {
+		for _, msg := range msgs {
+			head, ok := strings.CutSuffix(l, ": "+msg)
+			if !ok {
+				continue
+			}
+			head, col, ok := cutTrailingInt(head)
+			if !ok || col != d.Col {
+				continue
+			}
+			file, ln, ok := cutTrailingInt(head)
+			if !ok || ln != d.Line || file == "" {
+				continue
+			}
+			if !filepath.IsAbs(file) {
+				file = filepath.Join(base, file)
+			}
+			if filepath.Clean(file) == d.File {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// cutTrailingInt splits a ":<digits>" suffix off s, returning the
+// remaining prefix and the parsed value.
+func cutTrailingInt(s string) (string, int, bool) {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	if i == len(s) || i == 0 || s[i-1] != ':' {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(s[i:])
+	if err != nil {
+		return "", 0, false
+	}
+	return s[:i-1], n, true
+}

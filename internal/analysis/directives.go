@@ -10,7 +10,7 @@ import (
 // stays strict and every exception carries its justification next to
 // the code it excuses.
 type Directive struct {
-	Kind   string // "alloc-ok", "go-ok", "panic-ok", "actuate-ok", "hot"
+	Kind   string // "alloc-ok", "go-ok", "panic-ok", "actuate-ok", "bce-ok", "atomic-ok", "lock-ok", "hot"
 	Reason string // justification text after the marker
 	Line   int
 	Pos    token.Pos

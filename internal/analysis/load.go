@@ -56,7 +56,11 @@ func Load(dir string, patterns ...string) (*Program, error) {
 		base:    exportImporter(fset, exports),
 		checked: map[string]*types.Package{},
 	}
-	prog := &Program{Fset: fset, directives: map[string]map[int]*Directive{}}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		absDir = dir
+	}
+	prog := &Program{Fset: fset, Dir: absDir, directives: map[string]map[int]*Directive{}}
 	for _, lp := range mods {
 		pkg, err := checkPackage(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
 		if err != nil {
@@ -115,6 +119,9 @@ func LoadFixture(moduleDir, pkgPath, fixtureDir string) (*Program, error) {
 		return nil, fmt.Errorf("analysis: fixture %s: %w", pkgPath, err)
 	}
 	prog := &Program{Fset: fset, Pkgs: []*Package{pkg}, directives: map[string]map[int]*Directive{}}
+	// Fixtures never shell out to the compiler: codegen diagnostics are
+	// synthesized from //codegen: markers in the fixture source.
+	prog.diagSource = fixtureDiagSource
 	prog.scanDirectives(pkg)
 	return prog, nil
 }

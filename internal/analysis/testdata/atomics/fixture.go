@@ -1,0 +1,69 @@
+// Package atomics is a seeded-violation fixture for the atomicity
+// discipline, loaded under the fake import path "fixture/internal/core".
+// Rule 1 (mixed access): requests is passed by address to sync/atomic, so
+// every other access must be atomic too. Rule 2 (no copies): Stats
+// contains an atomic.Int64 and must only ever be shared by pointer.
+package atomics
+
+import "sync/atomic"
+
+// requests is atomically updated in Incr; the plain accesses below are
+// data races the type system cannot see.
+var requests int64
+
+// Incr is the access that marks requests as an atomic variable.
+func Incr() {
+	atomic.AddInt64(&requests, 1)
+}
+
+// Mixed reads and writes requests plainly: both flagged.
+func Mixed() int64 {
+	requests++ // want:atomics
+	return atomic.LoadInt64(&requests)
+}
+
+// Seeded shows the hatch: a justified exception is excused, a bare one
+// is itself a finding.
+func Seeded() int64 {
+	//bitflow:atomic-ok fixture: runs before any goroutine starts
+	seed := requests
+	//bitflow:atomic-ok
+	leak := requests // want:atomics
+	return seed + leak
+}
+
+// Stats is an atomic-bearing type: copying it forks the counter.
+type Stats struct {
+	hits atomic.Int64
+}
+
+// Snapshot copies the pointed-to Stats and returns the copy by value:
+// one finding for the dereference copy, one for the return copy.
+func Snapshot(s *Stats) Stats {
+	dup := *s  // want:atomics
+	return dup // want:atomics
+}
+
+// Consume receives Stats by value; the copy is flagged at the call site.
+func Consume(s Stats) int64 {
+	return s.hits.Load()
+}
+
+// Fanout ranges over atomic-bearing values (a copy per element) and
+// passes one by value.
+func Fanout(list []Stats) int64 {
+	var total int64
+	for _, s := range list { // want:atomics
+		total += Consume(s) // want:atomics
+	}
+	return total
+}
+
+// Shared is the fixed form: fresh construction and pointer sharing are
+// not copies.
+func Shared() *Stats {
+	st := Stats{}
+	p := &st
+	p.hits.Add(1)
+	return p
+}

@@ -1,0 +1,79 @@
+// Package lockorder is a seeded-violation fixture for the lock-order
+// discipline, loaded under the fake import path "fixture/internal/core".
+// A and B are acquired in both orders — the cycle every deadlock story
+// starts with; C nests two instances of the same class; D→E is a benign,
+// consistent nesting used to exercise the escape hatch.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// LockAB nests B under A: the A.mu → B.mu half of the cycle.
+func LockAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want:lockorder
+	b.mu.Unlock()
+}
+
+// LockBA acquires A transitively (through lockA) while holding B: the
+// B.mu → A.mu half, discovered through the call graph, closing the cycle.
+func LockBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockA(a) // want:lockorder
+}
+
+// lockA briefly takes A's lock.
+func lockA(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+// NestSame nests two instances of one class: a self-edge, reported as a
+// cycle of length one (no instance order is implied by the class graph).
+func NestSame(x, y *C) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock() // want:lockorder
+	y.mu.Unlock()
+}
+
+type D struct{ mu sync.Mutex }
+
+type E struct{ mu sync.Mutex }
+
+// NestConsistent nests E under D and nowhere the other way: a legal,
+// consistent order — no finding, and the canonical order prints it.
+func NestConsistent(d *D, e *E) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+// NestExcused shows the justified hatch: the same-class nesting is
+// proven safe out of band, so the acquisition's edges are dropped.
+func NestExcused(x, y *D) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	//bitflow:lock-ok fixture: instances are ordered by address upstream
+	y.mu.Lock()
+	y.mu.Unlock()
+}
+
+// NestBare has the hatch without the why: the bare directive is itself
+// the finding (the D.mu → E.mu edge it fails to drop is consistent with
+// NestConsistent, so no cycle is reported).
+func NestBare(d *D, e *E) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	//bitflow:lock-ok
+	e.mu.Lock() // want:lockorder
+	e.mu.Unlock()
+}

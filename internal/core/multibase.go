@@ -206,49 +206,64 @@ func (mc *MultiBaseConv) ForwardFused(in *bitpack.Packed, thr []float32, out *bi
 	n32 := int32(mc.validLanes)
 	rowLen := mc.rowLen
 	fstride := s.KH * rowLen
+	bases := mc.bases
+	alphas := mc.alphas
 	total := s.OutH * s.OutW
 	ec.ParallelFor(total, func(start, end int) {
-		var inRows [16][]uint64
-		rows := inRows[:s.KH]
+		var inRows [16][]uint64 //bitflow:alloc-ok one scratch per worker chunk; rows leaks into the indirect kernel call
+		rows := inRows[:s.KH]   //bitflow:bce-ok once per worker chunk; plan validation keeps KH <= 16
 		for idx := start; idx < end; idx++ {
 			y := idx / s.OutW
 			x := idx % s.OutW
 			y0 := y*s.Stride - s.Pad
 			x0 := x*s.Stride - s.Pad
-			for i := 0; i < s.KH; i++ {
+			for i := range rows {
 				off := in.PixelOffset(y0+i, x0)
-				rows[i] = in.Words[off : off+rowLen : off+rowLen]
+				rows[i] = in.Words[off : off+rowLen : off+rowLen] //bitflow:bce-ok one slice per filter row; the pixel-offset arithmetic is opaque to the prover
 			}
-			dst := out.PixelWords(y, x)
+			// Word-major packing: the output cursor dw and the bit shift
+			// advance together, so every per-filter access below is
+			// compiler-proven in bounds (`bitflow-vet codegen`).
+			dw := out.PixelWords(y, x) //bitflow:bce-ok inlined PixelWords slicing; once per output pixel, amortized over K filters of kernel calls
 			var word uint64
-			wi := 0
+			shift := uint(0)
 			for k := 0; k < s.K; k++ {
 				base := k * fstride
 				var acc float32
-				for m := 0; m < mc.M; m++ {
-					fw := mc.bases[m].Words
-					pop := f(rows, fw[base:base+fstride:base+fstride])
-					acc += mc.alphas[m][k] * float32(n32-2*int32(pop))
+				for m, bw := range bases {
+					pop := f(rows, bw.Words[base:base+fstride:base+fstride]) //bitflow:bce-ok once per (filter, base), amortized over the fstride-word kernel call
+					var a float32
+					if m < len(alphas) {
+						if ak := alphas[m]; k < len(ak) {
+							a = ak[k]
+						}
+					}
+					acc += a * float32(n32-2*int32(pop))
 				}
+				// k < len(thr) is the nil check too: nil thr has length 0
+				// and every filter falls back to the plain sign threshold.
 				var t float32
-				if thr != nil {
+				if k < len(thr) {
 					t = thr[k]
 				}
 				if acc >= t {
-					word |= 1 << uint(k%bitpack.WordBits)
+					word |= 1 << shift
 				}
-				if (k+1)%bitpack.WordBits == 0 {
-					dst[wi] = word
-					word = 0
-					wi++
+				if shift++; shift == bitpack.WordBits {
+					if len(dw) > 0 {
+						dw[0] = word
+						dw = dw[1:]
+					}
+					word, shift = 0, 0
 				}
 			}
-			if s.K%bitpack.WordBits != 0 {
-				dst[wi] = word
-				wi++
+			if shift != 0 && len(dw) > 0 {
+				dw[0] = word
+				dw = dw[1:]
 			}
-			for ; wi < len(dst); wi++ {
-				dst[wi] = 0
+			for len(dw) > 0 {
+				dw[0] = 0
+				dw = dw[1:]
 			}
 		}
 	})

@@ -230,54 +230,79 @@ func (mb *MultiBitConv) ForwardFused(planes []*bitpack.Packed, thr []float32, ou
 	planeSum := float32(int(1)<<mb.Bits-1) / 2
 	offsetScale := mb.Lo + step*planeSum
 	total := s.OutH * s.OutW
+	ws := mb.weightSums
 	ec.ParallelFor(total, func(start, end int) {
 		// One hoisted row set per bit-plane (Bits ≤ 8, KH ≤ 16).
-		var planeRows [8][16][]uint64
+		var planeRows [8][16][]uint64 //bitflow:alloc-ok one scratch per worker chunk; the row slices leak into the indirect kernel call
+		// Clamp KH against the scratch capacity once: the no-op clamp is
+		// what lets the prover discharge every planeRows access below.
+		kh := s.KH
+		if kh > len(planeRows[0]) {
+			kh = len(planeRows[0])
+		}
 		for idx := start; idx < end; idx++ {
 			y := idx / s.OutW
 			x := idx % s.OutW
 			y0 := y*s.Stride - s.Pad
 			x0 := x*s.Stride - s.Pad
-			for t := 0; t < mb.Bits; t++ {
-				for i := 0; i < s.KH; i++ {
-					off := planes[t].PixelOffset(y0+i, x0)
-					planeRows[t][i] = planes[t].Words[off : off+rowLen : off+rowLen]
+			for t := range planeRows {
+				if t >= len(planes) {
+					break
+				}
+				pl := planes[t]
+				pr := &planeRows[t]
+				for i := 0; i < kh; i++ {
+					off := pl.PixelOffset(y0+i, x0)
+					pr[i] = pl.Words[off : off+rowLen : off+rowLen] //bitflow:bce-ok one slice per filter row; the pixel-offset arithmetic is opaque to the prover
 				}
 			}
-			dst := out.PixelWords(y, x)
+			// Word-major packing: the output cursor dw and the bit shift
+			// advance together, so every per-filter access below is
+			// compiler-proven in bounds (`bitflow-vet codegen`).
+			dw := out.PixelWords(y, x) //bitflow:bce-ok inlined PixelWords slicing; once per output pixel, amortized over K filters of kernel calls
 			var word uint64
-			wi := 0
+			shift := uint(0)
 			for k := 0; k < s.K; k++ {
 				base := k * fstride
 				// Accumulate planes first, offset last — the exact float
 				// addition order of Forward, so fused bits match it even at
 				// rounding boundaries.
 				var acc float32
-				for t := 0; t < mb.Bits; t++ {
-					pop := f(planeRows[t][:s.KH], fw[base:base+fstride:base+fstride])
+				for t := range planeRows {
+					if t >= len(planes) {
+						break
+					}
+					pop := f(planeRows[t][:kh], fw[base:base+fstride:base+fstride]) //bitflow:bce-ok once per (filter, plane), amortized over the fstride-word kernel call
 					w := step * float32(int32(1)<<uint(t)) / 2
 					acc += w * float32(n32-2*int32(pop))
 				}
-				acc += offsetScale * float32(mb.weightSums[k])
+				if k < len(ws) {
+					acc += offsetScale * float32(ws[k])
+				}
+				// k < len(thr) is the nil check too: nil thr has length 0
+				// and every filter falls back to the plain sign threshold.
 				var th float32
-				if thr != nil {
+				if k < len(thr) {
 					th = thr[k]
 				}
 				if acc >= th {
-					word |= 1 << uint(k%bitpack.WordBits)
+					word |= 1 << shift
 				}
-				if (k+1)%bitpack.WordBits == 0 {
-					dst[wi] = word
-					word = 0
-					wi++
+				if shift++; shift == bitpack.WordBits {
+					if len(dw) > 0 {
+						dw[0] = word
+						dw = dw[1:]
+					}
+					word, shift = 0, 0
 				}
 			}
-			if s.K%bitpack.WordBits != 0 {
-				dst[wi] = word
-				wi++
+			if shift != 0 && len(dw) > 0 {
+				dw[0] = word
+				dw = dw[1:]
 			}
-			for ; wi < len(dst); wi++ {
-				dst[wi] = 0
+			for len(dw) > 0 {
+				dw[0] = 0
+				dw = dw[1:]
 			}
 		}
 	})

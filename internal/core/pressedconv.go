@@ -156,10 +156,15 @@ func (cv *Conv) ForwardPacked(in *bitpack.Packed, out *bitpack.Packed, ec *exec.
 	}
 	total := s.OutH * s.OutW
 	ec.ParallelFor(total, func(start, end int) {
+		// One row-pointer scratch per worker chunk: the rows slice leaks
+		// into the indirect kernel call, so a per-pixel array would be a
+		// per-pixel heap allocation (`bitflow-vet codegen` enforces this).
+		var inRows [16][]uint64 //bitflow:alloc-ok one scratch per worker chunk, amortized across the chunk's pixels
+		rows := inRows[:s.KH]
 		for idx := start; idx < end; idx++ {
 			y := idx / s.OutW
 			x := idx % s.OutW
-			cv.pixelPackedInto(in, y, x, out.PixelWords(y, x))
+			cv.pixelPackedInto(in, rows, y, x, out.PixelWords(y, x))
 		}
 	})
 }
@@ -193,14 +198,14 @@ func (cv *Conv) pixelInto(in *bitpack.Packed, y, x int, dst []float32) {
 // pixelPackedInto computes the K inner products of output pixel (y, x)
 // and writes threshold bits into the WPP words at dst via the fused
 // epilogue. Bits beyond K stay 0.
-func (cv *Conv) pixelPackedInto(in *bitpack.Packed, y, x int, dst []uint64) {
+// rows is caller-provided KH-length scratch (hoisted so the backing
+// array is allocated once per worker chunk, not per pixel).
+func (cv *Conv) pixelPackedInto(in *bitpack.Packed, rows [][]uint64, y, x int, dst []uint64) {
 	s := cv.Shape
 	rowLen := cv.rowLen
 	y0 := y*s.Stride - s.Pad
 	x0 := x*s.Stride - s.Pad
-	var inRows [16][]uint64
-	rows := inRows[:s.KH]
-	for i := 0; i < s.KH; i++ {
+	for i := 0; i < s.KH && i < len(rows); i++ {
 		off := in.PixelOffset(y0+i, x0)
 		rows[i] = in.Words[off : off+rowLen : off+rowLen]
 	}
@@ -250,7 +255,7 @@ func (cv *Conv) ForwardFused(in *bitpack.Packed, pl *Pool, out *bitpack.Packed, 
 	f := cv.rowsKernel
 	total := p.OutH * p.OutW
 	ec.ParallelFor(total, func(start, end int) {
-		var inRows [16][]uint64
+		var inRows [16][]uint64 //bitflow:alloc-ok one scratch per worker chunk; rows leaks into the indirect kernel call
 		rows := inRows[:s.KH]
 		for idx := start; idx < end; idx++ {
 			py := idx / p.OutW

@@ -11,10 +11,12 @@ import (
 //
 // Optimizations mirror the paper's sgemm-derived techniques:
 //   - B is packed transposed, so both inner operands stream linearly;
-//   - register blocking: 4 output columns share one pass over the A row
-//     (loop unrolling over K);
 //   - K-tiling keeps the active slab of B rows inside the L2 cache for
-//     large N (fc6: N = 25088 → wpr = 392 words = 3.1 KiB per row).
+//     large N (fc6: N = 25088 → wpr = 392 words = 3.1 KiB per row);
+//   - the column loop advances cursor slices instead of computing
+//     ki*wpr offsets, so the compiler proves every in-loop access in
+//     bounds (`bitflow-vet codegen`): the only checks left execute once
+//     per output row, after the shape was already pinned by panicSize.
 
 // BGemmOpts tunes the blocked bgemm. Zero values select defaults.
 type BGemmOpts struct {
@@ -47,30 +49,11 @@ func BGemm(a []uint64, m int, bT []uint64, k int, wpr, n int, out []int32, opts 
 	if len(out) != m*k {
 		panicSize("BGemm", "out", len(out), m*k)
 	}
-	f := opts.Kernel
-	n32 := int32(n)
+	// K-tiling: all M rows consume one L2-resident slab of B before the
+	// next slab is touched.
 	for kt := 0; kt < k; kt += opts.KTile {
 		kEnd := min(kt+opts.KTile, k)
-		for mi := 0; mi < m; mi++ {
-			arow := a[mi*wpr : (mi+1)*wpr]
-			orow := out[mi*k : (mi+1)*k]
-			ki := kt
-			// Register blocking: 4 output neurons per pass over arow.
-			for ; ki+4 <= kEnd; ki += 4 {
-				b0 := bT[ki*wpr : (ki+1)*wpr]
-				b1 := bT[(ki+1)*wpr : (ki+2)*wpr]
-				b2 := bT[(ki+2)*wpr : (ki+3)*wpr]
-				b3 := bT[(ki+3)*wpr : (ki+4)*wpr]
-				orow[ki] = n32 - 2*int32(f(arow, b0))
-				orow[ki+1] = n32 - 2*int32(f(arow, b1))
-				orow[ki+2] = n32 - 2*int32(f(arow, b2))
-				orow[ki+3] = n32 - 2*int32(f(arow, b3))
-			}
-			for ; ki < kEnd; ki++ {
-				brow := bT[ki*wpr : (ki+1)*wpr]
-				orow[ki] = n32 - 2*int32(f(arow, brow))
-			}
-		}
+		bgemmCols(a, m, bT, k, wpr, int32(n), out, opts.Kernel, kt, kEnd)
 	}
 }
 
@@ -96,27 +79,31 @@ func BGemmExec(a []uint64, m int, bT []uint64, k int, wpr, n int, out []int32, o
 	if len(out) != m*k {
 		panicSize("BGemmExec", "out", len(out), m*k)
 	}
+	// The closure captures only the kernel func and scalars — capturing
+	// opts itself (a method call on the addressable param) would move it
+	// to the heap on every call, a per-inference allocation the codegen
+	// gate rejects.
+	f := opts.Kernel
+	n32 := int32(n)
 	ec.ParallelFor(k, func(k0, k1 int) {
-		bgemmCols(a, m, bT, k, wpr, n, out, opts, k0, k1)
+		bgemmCols(a, m, bT, k, wpr, n32, out, f, k0, k1)
 	})
 }
 
-// bgemmCols computes output columns [k0, k1) only.
-func bgemmCols(a []uint64, m int, bT []uint64, k, wpr, n int, out []int32, opts BGemmOpts, k0, k1 int) {
-	f := opts.Kernel
-	n32 := int32(n)
+// bgemmCols computes output columns [k0, k1) of every row: the serial
+// tile body and the per-worker body of the parallel split.
+func bgemmCols(a []uint64, m int, bT []uint64, k, wpr int, n32 int32, out []int32, f XorPopFunc, k0, k1 int) {
+	if wpr <= 0 || k0 < 0 || k1 <= k0 {
+		return
+	}
 	for mi := 0; mi < m; mi++ {
-		arow := a[mi*wpr : (mi+1)*wpr]
-		orow := out[mi*k : (mi+1)*k]
-		ki := k0
-		for ; ki+4 <= k1; ki += 4 {
-			orow[ki] = n32 - 2*int32(f(arow, bT[ki*wpr:(ki+1)*wpr]))
-			orow[ki+1] = n32 - 2*int32(f(arow, bT[(ki+1)*wpr:(ki+2)*wpr]))
-			orow[ki+2] = n32 - 2*int32(f(arow, bT[(ki+2)*wpr:(ki+3)*wpr]))
-			orow[ki+3] = n32 - 2*int32(f(arow, bT[(ki+3)*wpr:(ki+4)*wpr]))
-		}
-		for ; ki < k1; ki++ {
-			orow[ki] = n32 - 2*int32(f(arow, bT[ki*wpr:(ki+1)*wpr]))
+		arow := a[mi*wpr : (mi+1)*wpr] //bitflow:bce-ok one slice per output row; shape pinned by the caller's panicSize preamble
+		ocur := out[mi*k+k0 : mi*k+k1] //bitflow:bce-ok one slice per output row
+		bcur := bT[k0*wpr:]            //bitflow:bce-ok one slice per output row
+		for len(ocur) > 0 && len(bcur) >= wpr {
+			ocur[0] = n32 - 2*int32(f(arow, bcur[:wpr]))
+			ocur = ocur[1:]
+			bcur = bcur[wpr:]
 		}
 	}
 }

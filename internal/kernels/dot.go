@@ -10,6 +10,8 @@ func Dot(f XorPopFunc, a, b []uint64, validLanes int) int32 {
 
 // DotRef is the O(bits) reference implementation used by tests: it walks
 // lanes one bit at a time and accumulates ±1 products.
+//
+//bitflow:bce-ok reference implementation for tests; its per-lane divides dominate any bounds check
 func DotRef(a, b []uint64, validLanes int) int32 {
 	var acc int32
 	for lane := 0; lane < validLanes; lane++ {

@@ -20,6 +20,12 @@ import "bitflow/internal/bitpack"
 // XORs its bit. Thresholds are widened to int64 at construction: T+1
 // would overflow int32 at T = MaxInt32, and the pre-activation d (≤ 2³¹)
 // subtracts safely in 64 bits.
+//
+// The packing loops are word-major: thresholds, flip words, and output
+// words advance as cursor slices, one word of up to 64 channels per outer
+// step, so the compiler proves every per-channel access in bounds
+// (`bitflow-vet codegen`). The only annotated checks left run once per
+// filter or per word, amortized over a whole kernel call.
 
 // Epilogue is a pre-compiled compare-threshold → set-bit pass over K
 // output channels. Build one per operator at construction/SetThresholds
@@ -43,11 +49,13 @@ func NewSignEpilogue(k int) *Epilogue {
 
 // NewEpilogue compiles per-channel int32 thresholds and flip flags into
 // the branchless form. t and flip must have equal length.
+//
+//bitflow:bce-ok constructor, runs once at operator build time, never per inference
 func NewEpilogue(t []int32, flip []bool) *Epilogue {
 	if len(t) != len(flip) {
 		panicSize("NewEpilogue", "flip", len(flip), len(t))
 	}
-	e := NewSignEpilogue(len(t))
+	e := NewSignEpilogue(len(t)) //bitflow:alloc-ok constructor, runs once at operator build time (inlined NewSignEpilogue allocations land on this line)
 	for c := range t {
 		e.T[c] = int64(t[c])
 		if flip[c] {
@@ -58,11 +66,19 @@ func NewEpilogue(t []int32, flip []bool) *Epilogue {
 	return e
 }
 
-// bit evaluates one channel: 1 when d passes the (possibly flipped)
-// threshold. Branchless: (d-T) ≥ 0 via the arithmetic sign shift.
-func (e *Epilogue) bit(c int, d int64) uint64 {
-	ge := uint64(((d-e.T[c])>>63)+1) & 1
-	return ge ^ (e.Flip[c/bitpack.WordBits] >> uint(c%bitpack.WordBits) & 1)
+// wordChannels clamps one output word's channel count: at most WordBits,
+// never past the remaining thresholds or pre-activations. The explicit
+// clamp chain is what lets the BCE prover discharge every d[c]/t[c]
+// access in the word-major loops below.
+func wordChannels(nd, nt int) int {
+	kw := nd
+	if kw > nt {
+		kw = nt
+	}
+	if kw > bitpack.WordBits {
+		kw = bitpack.WordBits
+	}
+	return kw
 }
 
 // Pack writes the threshold bits of the K pre-activations d into dst,
@@ -76,23 +92,24 @@ func (e *Epilogue) Pack(d []int32, dst []uint64) {
 		panicSize("Epilogue.Pack", "dst", len(dst), bitpack.WordsFor(e.K))
 	}
 	t := e.T
-	var word uint64
-	wi := 0
-	for c, v := range d {
-		ge := uint64(((int64(v)-t[c])>>63)+1) & 1
-		word |= ge << uint(c%bitpack.WordBits)
-		if (c+1)%bitpack.WordBits == 0 {
-			dst[wi] = word ^ e.Flip[wi]
-			word = 0
-			wi++
+	fl := e.Flip
+	out := dst
+	for len(d) > 0 && len(fl) > 0 && len(out) > 0 {
+		kw := wordChannels(len(d), len(t))
+		var word uint64
+		for c := 0; c < kw; c++ {
+			ge := uint64(((int64(d[c])-t[c])>>63)+1) & 1
+			word |= ge << uint(c)
 		}
+		out[0] = word ^ fl[0]
+		d = d[kw:]
+		t = t[kw:]
+		fl = fl[1:]
+		out = out[1:]
 	}
-	if e.K%bitpack.WordBits != 0 {
-		dst[wi] = word ^ e.Flip[wi]
-		wi++
-	}
-	for ; wi < len(dst); wi++ {
-		dst[wi] = 0
+	for len(out) > 0 {
+		out[0] = 0
+		out = out[1:]
 	}
 }
 
@@ -108,19 +125,20 @@ func (e *Epilogue) PackOr(d []int32, dst []uint64) {
 		panicSize("Epilogue.PackOr", "dst", len(dst), bitpack.WordsFor(e.K))
 	}
 	t := e.T
-	var word uint64
-	wi := 0
-	for c, v := range d {
-		ge := uint64(((int64(v)-t[c])>>63)+1) & 1
-		word |= ge << uint(c%bitpack.WordBits)
-		if (c+1)%bitpack.WordBits == 0 {
-			dst[wi] |= word ^ e.Flip[wi]
-			word = 0
-			wi++
+	fl := e.Flip
+	out := dst
+	for len(d) > 0 && len(fl) > 0 && len(out) > 0 {
+		kw := wordChannels(len(d), len(t))
+		var word uint64
+		for c := 0; c < kw; c++ {
+			ge := uint64(((int64(d[c])-t[c])>>63)+1) & 1
+			word |= ge << uint(c)
 		}
-	}
-	if e.K%bitpack.WordBits != 0 {
-		dst[wi] |= word ^ e.Flip[wi]
+		out[0] |= word ^ fl[0]
+		d = d[kw:]
+		t = t[kw:]
+		fl = fl[1:]
+		out = out[1:]
 	}
 }
 
@@ -138,27 +156,28 @@ func ConvEpilogue(f XorPopRowsFunc, rows [][]uint64, fw []uint64, fstride int, n
 		panicSize("ConvEpilogue", "dst", len(dst), bitpack.WordsFor(e.K))
 	}
 	t := e.T
+	fl := e.Flip
+	out := dst
+	fwk := fw
 	n := int64(n32)
-	var word uint64
-	wi := 0
-	for k := 0; k < e.K; k++ {
-		base := k * fstride
-		acc := f(rows, fw[base:base+fstride:base+fstride])
-		d := n - 2*int64(acc)
-		ge := uint64(((d-t[k])>>63)+1) & 1
-		word |= ge << uint(k%bitpack.WordBits)
-		if (k+1)%bitpack.WordBits == 0 {
-			dst[wi] = word ^ e.Flip[wi]
-			word = 0
-			wi++
+	for len(t) > 0 && len(fl) > 0 && len(out) > 0 {
+		kw := wordChannels(len(t), len(t))
+		var word uint64
+		for c := 0; c < kw && len(fwk) >= fstride; c++ {
+			acc := f(rows, fwk[:fstride:fstride]) //bitflow:bce-ok once per filter, amortized over the fstride-word kernel call
+			fwk = fwk[fstride:]                   //bitflow:bce-ok advances past the consumed filter; cannot fail under the loop guard
+			d := n - 2*int64(acc)
+			ge := uint64(((d-t[c])>>63)+1) & 1
+			word |= ge << uint(c)
 		}
+		out[0] = word ^ fl[0]
+		t = t[kw:]
+		fl = fl[1:]
+		out = out[1:]
 	}
-	if e.K%bitpack.WordBits != 0 {
-		dst[wi] = word ^ e.Flip[wi]
-		wi++
-	}
-	for ; wi < len(dst); wi++ {
-		dst[wi] = 0
+	for len(out) > 0 {
+		out[0] = 0
+		out = out[1:]
 	}
 }
 
@@ -177,27 +196,33 @@ func ConvEpilogueOr(f XorPopRowsFunc, rows [][]uint64, fw []uint64, fstride int,
 		panicSize("ConvEpilogueOr", "dst", len(dst), bitpack.WordsFor(e.K))
 	}
 	t := e.T
+	fl := e.Flip
+	out := dst
+	fwk := fw
 	n := int64(n32)
-	for wi := 0; wi*bitpack.WordBits < e.K; wi++ {
-		have := dst[wi]
-		// Flip is applied per channel here: dst already lives in the
-		// post-flip domain, so a whole-word XOR would corrupt the bits
+	for len(t) > 0 && len(fl) > 0 && len(out) > 0 {
+		kw := wordChannels(len(t), len(t))
+		// out already lives in the post-flip domain, so flip is applied
+		// per channel: a whole-word XOR would corrupt the bits
 		// accumulated by earlier window positions.
-		flip := e.Flip[wi]
-		kEnd := min(e.K, (wi+1)*bitpack.WordBits)
-		for k := wi * bitpack.WordBits; k < kEnd; k++ {
-			mask := uint64(1) << uint(k%bitpack.WordBits)
-			if have&mask != 0 {
-				continue // already 1: OR can't change it, skip the popcounts
+		have := out[0]
+		flip := fl[0]
+		for c := 0; c < kw && len(fwk) >= fstride; c++ {
+			if have&(uint64(1)<<uint(c)) != 0 {
+				fwk = fwk[fstride:] //bitflow:bce-ok skip advance, guarded by the loop condition
+				continue            // already 1: OR can't change it, skip the popcounts
 			}
-			base := k * fstride
-			acc := f(rows, fw[base:base+fstride:base+fstride])
+			acc := f(rows, fwk[:fstride:fstride]) //bitflow:bce-ok once per filter, amortized over the fstride-word kernel call
+			fwk = fwk[fstride:]                   //bitflow:bce-ok advances past the consumed filter; cannot fail under the loop guard
 			d := n - 2*int64(acc)
-			ge := uint64(((d-t[k])>>63)+1) & 1
-			b := ge ^ (flip >> uint(k%bitpack.WordBits) & 1)
-			have |= b << uint(k%bitpack.WordBits)
+			ge := uint64(((d-t[c])>>63)+1) & 1
+			b := ge ^ (flip >> uint(c) & 1)
+			have |= b << uint(c)
 		}
-		dst[wi] = have
+		out[0] = have
+		t = t[kw:]
+		fl = fl[1:]
+		out = out[1:]
 	}
 }
 
@@ -219,17 +244,27 @@ func ConvBatchEpilogue(kernel XorPopBatchFunc, gather, fw []uint64, S int, n32 i
 	}
 	clear(out)
 	t := e.T
+	fl := e.Flip
+	fwk := fw
 	n := int64(n32)
-	for k := 0; k < e.K; k++ {
-		base := k * S
-		kernel(gather, fw[base:base+S:base+S], accs)
+	for k := 0; k < e.K && k < len(t) && len(fwk) >= S; k++ {
+		kernel(gather, fwk[:S:S], accs) //bitflow:bce-ok once per filter, amortized over the batched S-word kernel call
+		fwk = fwk[S:]                   //bitflow:bce-ok advances past the consumed filter; cannot fail under the loop guard
 		wi := k / bitpack.WordBits
 		sh := uint(k % bitpack.WordBits)
-		flip := e.Flip[wi] >> sh & 1
-		for b := 0; b < B; b++ {
+		var flip uint64
+		if wi < len(fl) {
+			flip = fl[wi] >> sh & 1 //bitflow:bce-ok once per filter; the prover cannot see k/WordBits >= 0 through the division
+		}
+		o := out[wi:] //bitflow:bce-ok one scatter cursor per filter; in range whenever out spans WordsFor(K) words per image
+		for b := 0; b < len(accs) && len(o) > 0; b++ {
 			d := n - 2*int64(accs[b])
 			ge := uint64(((d-t[k])>>63)+1) & 1
-			out[b*outWPP+wi] |= (ge ^ flip) << sh
+			o[0] |= (ge ^ flip) << sh
+			if len(o) <= outWPP {
+				break
+			}
+			o = o[outWPP:] //bitflow:bce-ok strides to the next image's word; guarded by the break above
 		}
 	}
 }
@@ -252,28 +287,44 @@ func ConvBatchEpilogueOr(kernel XorPopBatchFunc, gather, fw []uint64, S int, n32
 		panicSize("ConvBatchEpilogueOr", "out", len(out), B*outWPP)
 	}
 	t := e.T
+	fl := e.Flip
+	fwk := fw
 	n := int64(n32)
-	for k := 0; k < e.K; k++ {
+	for k := 0; k < e.K && k < len(t) && len(fwk) >= S; k++ {
 		wi := k / bitpack.WordBits
 		sh := uint(k % bitpack.WordBits)
 		mask := uint64(1) << sh
 		saturated := true
-		for b := 0; b < B; b++ {
-			if out[b*outWPP+wi]&mask == 0 {
+		o := out[wi:] //bitflow:bce-ok one scan cursor per filter; in range whenever out spans WordsFor(K) words per image
+		for b := 0; b < len(accs) && len(o) > 0; b++ {
+			if o[0]&mask == 0 {
 				saturated = false
 				break
 			}
+			if len(o) <= outWPP {
+				break
+			}
+			o = o[outWPP:] //bitflow:bce-ok strides to the next image's word; guarded by the break above
 		}
 		if saturated {
-			continue // every lane already 1: OR can't change any of them
+			fwk = fwk[S:] //bitflow:bce-ok skip advance, guarded by the loop condition
+			continue      // every lane already 1: OR can't change any of them
 		}
-		base := k * S
-		kernel(gather, fw[base:base+S:base+S], accs)
-		flip := e.Flip[wi] >> sh & 1
-		for b := 0; b < B; b++ {
+		kernel(gather, fwk[:S:S], accs) //bitflow:bce-ok once per filter, amortized over the batched S-word kernel call
+		fwk = fwk[S:]                   //bitflow:bce-ok advances past the consumed filter; cannot fail under the loop guard
+		var flip uint64
+		if wi < len(fl) {
+			flip = fl[wi] >> sh & 1
+		}
+		o = out[wi:] //bitflow:bce-ok one scatter cursor per filter; in range whenever out spans WordsFor(K) words per image
+		for b := 0; b < len(accs) && len(o) > 0; b++ {
 			d := n - 2*int64(accs[b])
 			ge := uint64(((d-t[k])>>63)+1) & 1
-			out[b*outWPP+wi] |= (ge ^ flip) << sh
+			o[0] |= (ge ^ flip) << sh
+			if len(o) <= outWPP {
+				break
+			}
+			o = o[outWPP:] //bitflow:bce-ok strides to the next image's word; guarded by the break above
 		}
 	}
 }

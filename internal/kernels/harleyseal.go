@@ -16,43 +16,45 @@ import "math/bits"
 // Any input length is accepted; the non-multiple-of-16 tail runs through
 // the scalar kernel.
 func XorPopHarleySeal(a, b []uint64) int {
-	n := len(a)
-	if n == 0 {
+	if len(a) == 0 {
 		return 0
 	}
-	_ = b[n-1]
+	b = b[:len(a)] //bitflow:bce-ok preamble pin: proves len(b) == len(a), panics on mismatch like the old hint
 	var ones, twos, fours, eights uint64
 	total := 0
-	i := 0
-	for ; i+16 <= n; i += 16 {
+	for len(a) >= 16 && len(b) >= 16 {
 		var twosA, twosB, foursA, foursB, eightsA, eightsB, sixteens uint64
 
-		ones, twosA = csa(ones, a[i]^b[i], a[i+1]^b[i+1])
-		ones, twosB = csa(ones, a[i+2]^b[i+2], a[i+3]^b[i+3])
+		ones, twosA = csa(ones, a[0]^b[0], a[1]^b[1])
+		ones, twosB = csa(ones, a[2]^b[2], a[3]^b[3])
 		twos, foursA = csa(twos, twosA, twosB)
-		ones, twosA = csa(ones, a[i+4]^b[i+4], a[i+5]^b[i+5])
-		ones, twosB = csa(ones, a[i+6]^b[i+6], a[i+7]^b[i+7])
+		ones, twosA = csa(ones, a[4]^b[4], a[5]^b[5])
+		ones, twosB = csa(ones, a[6]^b[6], a[7]^b[7])
 		twos, foursB = csa(twos, twosA, twosB)
 		fours, eightsA = csa(fours, foursA, foursB)
 
-		ones, twosA = csa(ones, a[i+8]^b[i+8], a[i+9]^b[i+9])
-		ones, twosB = csa(ones, a[i+10]^b[i+10], a[i+11]^b[i+11])
+		ones, twosA = csa(ones, a[8]^b[8], a[9]^b[9])
+		ones, twosB = csa(ones, a[10]^b[10], a[11]^b[11])
 		twos, foursA = csa(twos, twosA, twosB)
-		ones, twosA = csa(ones, a[i+12]^b[i+12], a[i+13]^b[i+13])
-		ones, twosB = csa(ones, a[i+14]^b[i+14], a[i+15]^b[i+15])
+		ones, twosA = csa(ones, a[12]^b[12], a[13]^b[13])
+		ones, twosB = csa(ones, a[14]^b[14], a[15]^b[15])
 		twos, foursB = csa(twos, twosA, twosB)
 		fours, eightsB = csa(fours, foursA, foursB)
 
 		eights, sixteens = csa(eights, eightsA, eightsB)
 		total += bits.OnesCount64(sixteens)
+		a = a[16:]
+		b = b[16:]
 	}
 	total = 16*total +
 		8*bits.OnesCount64(eights) +
 		4*bits.OnesCount64(fours) +
 		2*bits.OnesCount64(twos) +
 		bits.OnesCount64(ones)
-	for ; i < n; i++ {
-		total += bits.OnesCount64(a[i] ^ b[i])
+	for len(a) > 0 && len(b) > 0 {
+		total += bits.OnesCount64(a[0] ^ b[0])
+		a = a[1:]
+		b = b[1:]
 	}
 	return total
 }

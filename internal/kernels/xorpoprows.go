@@ -8,18 +8,24 @@ import "math/bits"
 // (output pixel, filter) pair — the row loop lives inside the kernel so
 // short segments (e.g. 3 words for C=64) do not pay an indirect call per
 // filter row.
+//
+// The filter block is consumed by advancing the filt slice past each
+// row's segment; together with the per-step re-slicing of the row this
+// is the loop shape the BCE prover discharges completely (`bitflow-vet
+// codegen` keeps the inner loops free of bounds checks). filt must hold
+// at least Σ len(rows[i]) words — a short filter panics on the per-row
+// pin, exactly like the old indexed form.
 type XorPopRowsFunc func(rows [][]uint64, filt []uint64) int
 
 // XorPopRows64 is the scalar row-batched kernel (any segment length).
 func XorPopRows64(rows [][]uint64, filt []uint64) int {
 	acc := 0
-	off := 0
 	for _, r := range rows {
-		f := filt[off : off+len(r)]
+		f := filt[:len(r)] //bitflow:bce-ok per-row pin: proves len(f) == len(r), panics if the filter block is short
 		for i, v := range r {
 			acc += bits.OnesCount64(v ^ f[i])
 		}
-		off += len(r)
+		filt = filt[len(r):] //bitflow:bce-ok advances past the consumed segment; cannot fail after the pin above
 	}
 	return acc
 }
@@ -28,14 +34,16 @@ func XorPopRows64(rows [][]uint64, filt []uint64) int {
 // multiples of 2.
 func XorPopRows128(rows [][]uint64, filt []uint64) int {
 	var acc0, acc1 int
-	off := 0
 	for _, r := range rows {
-		f := filt[off : off+len(r)]
-		for i := 0; i < len(r); i += 2 {
-			acc0 += bits.OnesCount64(r[i] ^ f[i])
-			acc1 += bits.OnesCount64(r[i+1] ^ f[i+1])
+		n := len(r)
+		f := filt[:n] //bitflow:bce-ok per-row pin: panics if the filter block is short
+		for len(r) >= 2 && len(f) >= 2 {
+			acc0 += bits.OnesCount64(r[0] ^ f[0])
+			acc1 += bits.OnesCount64(r[1] ^ f[1])
+			r = r[2:]
+			f = f[2:]
 		}
-		off += len(r)
+		filt = filt[n:] //bitflow:bce-ok cannot fail: the pin above proved len(filt) >= n
 	}
 	return acc0 + acc1
 }
@@ -44,16 +52,18 @@ func XorPopRows128(rows [][]uint64, filt []uint64) int {
 // multiples of 4.
 func XorPopRows256(rows [][]uint64, filt []uint64) int {
 	var acc0, acc1, acc2, acc3 int
-	off := 0
 	for _, r := range rows {
-		f := filt[off : off+len(r)]
-		for i := 0; i < len(r); i += 4 {
-			acc0 += bits.OnesCount64(r[i] ^ f[i])
-			acc1 += bits.OnesCount64(r[i+1] ^ f[i+1])
-			acc2 += bits.OnesCount64(r[i+2] ^ f[i+2])
-			acc3 += bits.OnesCount64(r[i+3] ^ f[i+3])
+		n := len(r)
+		f := filt[:n] //bitflow:bce-ok per-row pin: panics if the filter block is short
+		for len(r) >= 4 && len(f) >= 4 {
+			acc0 += bits.OnesCount64(r[0] ^ f[0])
+			acc1 += bits.OnesCount64(r[1] ^ f[1])
+			acc2 += bits.OnesCount64(r[2] ^ f[2])
+			acc3 += bits.OnesCount64(r[3] ^ f[3])
+			r = r[4:]
+			f = f[4:]
 		}
-		off += len(r)
+		filt = filt[n:] //bitflow:bce-ok cannot fail: the pin above proved len(filt) >= n
 	}
 	return (acc0 + acc1) + (acc2 + acc3)
 }
@@ -62,16 +72,18 @@ func XorPopRows256(rows [][]uint64, filt []uint64) int {
 // multiples of 8.
 func XorPopRows512(rows [][]uint64, filt []uint64) int {
 	var acc0, acc1, acc2, acc3 int
-	off := 0
 	for _, r := range rows {
-		f := filt[off : off+len(r)]
-		for i := 0; i < len(r); i += 8 {
-			acc0 += bits.OnesCount64(r[i]^f[i]) + bits.OnesCount64(r[i+4]^f[i+4])
-			acc1 += bits.OnesCount64(r[i+1]^f[i+1]) + bits.OnesCount64(r[i+5]^f[i+5])
-			acc2 += bits.OnesCount64(r[i+2]^f[i+2]) + bits.OnesCount64(r[i+6]^f[i+6])
-			acc3 += bits.OnesCount64(r[i+3]^f[i+3]) + bits.OnesCount64(r[i+7]^f[i+7])
+		n := len(r)
+		f := filt[:n] //bitflow:bce-ok per-row pin: panics if the filter block is short
+		for len(r) >= 8 && len(f) >= 8 {
+			acc0 += bits.OnesCount64(r[0]^f[0]) + bits.OnesCount64(r[4]^f[4])
+			acc1 += bits.OnesCount64(r[1]^f[1]) + bits.OnesCount64(r[5]^f[5])
+			acc2 += bits.OnesCount64(r[2]^f[2]) + bits.OnesCount64(r[6]^f[6])
+			acc3 += bits.OnesCount64(r[3]^f[3]) + bits.OnesCount64(r[7]^f[7])
+			r = r[8:]
+			f = f[8:]
 		}
-		off += len(r)
+		filt = filt[n:] //bitflow:bce-ok cannot fail: the pin above proved len(filt) >= n
 	}
 	return (acc0 + acc1) + (acc2 + acc3)
 }

@@ -14,7 +14,12 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== bitflow-vet ./... (repo invariants: rawgo threadsint hotalloc panicpath actuate)"
+# The analyzer gate runs in BOTH modes: -short must never skip
+# bitflow-vet, or analyzer regressions land and only CI catches them.
+# This includes the compiler-backed codegen pass (escape analysis +
+# check_bce over the hot call graph) and the concurrency-discipline
+# passes (atomics, lockorder).
+echo "== bitflow-vet ./... (repo invariants: rawgo threadsint hotalloc panicpath actuate codegen atomics lockorder ...)"
 go run ./cmd/bitflow-vet ./...
 
 echo "== go test -shuffle=on $* ./..."
