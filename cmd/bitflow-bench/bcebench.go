@@ -53,13 +53,17 @@ type bceReport struct {
 }
 
 // runOpsBench is the full `ops` subcommand: the fused data-flow
-// comparison (BENCH_fusion.json) followed by the BCE sweep microbenches
-// (BENCH_bce.json).
+// comparison (BENCH_fusion.json), the BCE sweep microbenches
+// (BENCH_bce.json), and the kernel-compression comparison
+// (BENCH_compress.json).
 func runOpsBench(feat sched.Features) error {
 	if err := runFusionBench(feat); err != nil {
 		return err
 	}
-	return runBCEBench(feat)
+	if err := runBCEBench(feat); err != nil {
+		return err
+	}
+	return runCompressBench(feat)
 }
 
 func runBCEBench(feat sched.Features) error {

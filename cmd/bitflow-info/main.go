@@ -1,7 +1,8 @@
 // Command bitflow-info prints the vector execution scheduler's view of
 // this machine: the detected features, the kernel tier table (the paper's
 // Table I analogue), and the operator→kernel mapping for the VGG channel
-// ladder (the paper's Fig. 6).
+// ladder (the paper's Fig. 6). With -model it instead loads a .bflw
+// artifact and prints its per-layer kernel-compression report.
 package main
 
 import (
@@ -12,14 +13,24 @@ import (
 	"bitflow/internal/ait"
 	"bitflow/internal/bench"
 	"bitflow/internal/exec"
+	"bitflow/internal/graph"
 	"bitflow/internal/kernels"
 	"bitflow/internal/sched"
 	"bitflow/internal/workload"
 )
 
+var flagModel = flag.String("model", "", "path to a .bflw artifact: print its kernel-compression report and exit")
+
 func main() {
 	flag.Parse()
 	feat := sched.Detect()
+	if *flagModel != "" {
+		if err := modelReport(*flagModel, feat); err != nil {
+			fmt.Fprintf(os.Stderr, "bitflow-info: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Println("BitFlow vector execution scheduler report")
 	fmt.Println()
 	fmt.Printf("  hardware detector: %s\n", feat)
@@ -80,4 +91,36 @@ func main() {
 			fmt.Sprintf("%.2f", b.Im2colAIT()))
 	}
 	at.Render(os.Stdout)
+}
+
+// modelReport loads an artifact and prints the load-time planning view
+// the serving stack acts on: the per-layer kernel-compression analysis
+// (duplicated packed filter words per Silfa & Arnau) and which layers'
+// forwards actually run the compressed path.
+func modelReport(path string, feat sched.Features) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	net, err := graph.Load(f, feat)
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", path, err)
+	}
+	fmt.Printf("model %q (%dx%dx%d → %d classes, %d layers, %d fused pair(s))\n",
+		net.Name, net.InH, net.InW, net.InC, net.Classes, len(net.Layers()), net.Fusion().Pairs)
+	fmt.Println()
+	fmt.Printf("kernel compression (threshold ratio ≥ %.1f):\n", kernels.CompressMinRatio)
+	ct := bench.NewTable("layer", "kind", "channels", "positions", "words", "distinct", "ratio", "compressed")
+	for _, lc := range net.Compression() {
+		ct.Row(lc.Layer, lc.Kind, lc.Channels, lc.Positions,
+			lc.TotalWords, lc.DistinctWords,
+			fmt.Sprintf("%.2f", lc.Ratio),
+			map[bool]string{true: "yes", false: "no"}[lc.Selected])
+	}
+	ct.Render(os.Stdout)
+	fmt.Println()
+	fmt.Printf("compressed layers: %d — each distinct word's XOR+popcount runs once and scatters to all duplicates\n",
+		net.CompressedLayers())
+	return nil
 }

@@ -358,9 +358,15 @@ func main() {
 		}
 		fmt.Printf("serving model %q version %s on %s with %d replica(s), queue %d\n",
 			name, ins.Version, *flagAddr, ins.Replicas, ins.GateMaxQueue)
-		if mm, err := srv.ModelMeta(name); err == nil && mm.FusedLayers > 0 {
-			fmt.Printf("fusion %q: %d conv+pool pair(s) run as fused packed-bit epilogues (-no-fuse to split)\n",
-				name, mm.FusedLayers)
+		if mm, err := srv.ModelMeta(name); err == nil {
+			if mm.FusedLayers > 0 {
+				fmt.Printf("fusion %q: %d conv+pool pair(s) run as fused packed-bit epilogues (-no-fuse to split)\n",
+					name, mm.FusedLayers)
+			}
+			if mm.CompressedLayers > 0 {
+				fmt.Printf("kernel compression %q: %d layer(s) dedupe repeated packed filter words\n",
+					name, mm.CompressedLayers)
+			}
 		}
 		if st := srv.ControlStatus(name); st != nil {
 			fmt.Printf("autoscale %q: replicas [%d, %d], max-batch [%d, %d], window [%s, %s]\n",

@@ -27,6 +27,12 @@ type Dense struct {
 	// affine post-processes the float path (ForwardFloat); nil = raw
 	// inner products.
 	affine *Affine
+	// press is the kernel-compression plan compiled from the packed
+	// weight matrix at construction when its duplication ratio clears
+	// kernels.CompressMinRatio (nil otherwise); pressStats always holds
+	// the measured analysis. Pure runtime state, never serialized.
+	press      *kernels.CompressPlan
+	pressStats kernels.CompressStats
 }
 
 // SetThresholds installs a folded activation (batch-norm or bias) for
@@ -79,7 +85,12 @@ func NewDensePacked(shape sched.FCShape, plan sched.Plan, pm *bitpack.PackedMatr
 	if pm.WPR != plan.Words {
 		return nil, fmt.Errorf("core: packed dense wpr=%d, plan wants %d", pm.WPR, plan.Words)
 	}
-	return &Dense{Shape: shape, Plan: plan, weights: pm, epi: kernels.NewSignEpilogue(shape.K)}, nil
+	d := &Dense{Shape: shape, Plan: plan, weights: pm, epi: kernels.NewSignEpilogue(shape.K)}
+	d.pressStats = kernels.AnalyzeCompression(pm.Words, shape.K, pm.WPR)
+	if d.pressStats.Selectable() {
+		d.press = kernels.BuildCompressPlan(pm.Words, shape.K, pm.WPR)
+	}
+	return d, nil
 }
 
 // Weights exposes the packed weight matrix (read-only use).

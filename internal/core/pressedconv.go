@@ -39,6 +39,13 @@ type Conv struct {
 	// epi is act pre-compiled into the branchless fused epilogue the
 	// packed paths run; rebuilt by SetThresholds, never per inference.
 	epi *kernels.Epilogue
+	// press is the kernel-compression plan compiled from the packed
+	// filter bank at construction when its duplication ratio clears
+	// kernels.CompressMinRatio (nil otherwise); pressStats always holds
+	// the measured analysis. Pure runtime state, never serialized — the
+	// graph layer decides per network which path actually runs.
+	press      *kernels.CompressPlan
+	pressStats kernels.CompressStats
 }
 
 // SetThresholds installs a folded activation (batch-norm or bias) for
@@ -89,7 +96,7 @@ func NewConvPacked(shape sched.ConvShape, plan sched.Plan, pf *bitpack.PackedFil
 		// Words), but guard against hand-built plans.
 		return nil, fmt.Errorf("core: width %s does not divide row length %d", plan.Width, shape.KW*plan.Words)
 	}
-	return &Conv{
+	cv := &Conv{
 		Shape:      shape,
 		Plan:       plan,
 		filter:     pf,
@@ -97,7 +104,13 @@ func NewConvPacked(shape sched.ConvShape, plan sched.Plan, pf *bitpack.PackedFil
 		validLanes: shape.KH * shape.KW * shape.InC,
 		rowLen:     shape.KW * plan.Words,
 		epi:        kernels.NewSignEpilogue(shape.K),
-	}, nil
+	}
+	fstride := shape.KH * cv.rowLen
+	cv.pressStats = kernels.AnalyzeCompression(pf.Words, shape.K, fstride)
+	if cv.pressStats.Selectable() {
+		cv.press = kernels.BuildCompressPlan(pf.Words, shape.K, fstride)
+	}
+	return cv, nil
 }
 
 // Filter exposes the packed filter bank (read-only use).

@@ -82,6 +82,12 @@ type Config struct {
 	// swap to roll back, which the oracle accepts as long as the ledger
 	// and the conservation laws agree.
 	Reloads int
+	// Compressed builds every model with duplicated conv filter banks so
+	// the load-time kernel-compression pass selects the compressed
+	// forward path, and computes the serial reference logits on an
+	// *uncompressed* clone — Law 2 then doubles as a
+	// compressed-vs-uncompressed differential under the fault schedule.
+	Compressed bool
 }
 
 // Defaults returns a small-but-concurrent workload configuration for the
@@ -174,12 +180,34 @@ func (r *Result) violatef(format string, args ...any) {
 // conv→pool→dense topology the serve tests pin, deterministic weights
 // derived from the given seed so distinct models are distinguishable by
 // their logits.
-func buildNetwork(name string, seed uint64) (*graph.Network, error) {
+func buildNetwork(name string, seed uint64, compressed bool) (*graph.Network, error) {
+	var ws graph.WeightSource = graph.RandomWeights{Seed: seed}
+	if compressed {
+		ws = dupWeights{RandomWeights: graph.RandomWeights{Seed: seed}}
+	}
 	return graph.NewBuilder(name, 8, 8, 64, sched.Detect()).
 		Conv3x3("c1", 64).
 		Pool("p1", 2, 2, 2).
 		Dense("d1", 4).
-		Build(graph.RandomWeights{Seed: seed})
+		Build(ws)
+}
+
+// dupWeights repeats one of four base filter patterns per output channel,
+// so the conv bank's packed words duplicate with ratio ≥ K/4 and the
+// layer crosses the kernel-compression threshold at build time.
+type dupWeights struct {
+	graph.RandomWeights
+}
+
+func (d dupWeights) ConvFilter(name string, k, kh, kw, c int) (*tensor.Filter, error) {
+	f, err := d.RandomWeights.ConvFilter(name, k, kh, kw, c)
+	if err == nil {
+		per := kh * kw * c
+		for i := 4; i < k; i++ {
+			copy(f.Data[i*per:(i+1)*per], f.Data[(i%4)*per:(i%4+1)*per])
+		}
+	}
+	return f, err
 }
 
 const numInputs = 8
@@ -215,9 +243,12 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.Models == 1 {
 			names[i] = "conformance"
 		}
-		net, err := buildNetwork(names[i], 130+uint64(i))
+		net, err := buildNetwork(names[i], 130+uint64(i), cfg.Compressed)
 		if err != nil {
 			return nil, fmt.Errorf("conformance: building network %s: %w", names[i], err)
+		}
+		if cfg.Compressed && net.CompressedLayers() == 0 {
+			return nil, fmt.Errorf("conformance: model %s did not select the compressed path", names[i])
 		}
 		nets[i] = net
 	}
@@ -230,6 +261,11 @@ func Run(cfg Config) (*Result, error) {
 	refLogits := make(map[string][][]float32, cfg.Models)
 	for m, net := range nets {
 		ref := net.Clone()
+		if cfg.Compressed {
+			// The reference runs the uncompressed plan: every 200 is then a
+			// compressed-vs-uncompressed bit-equality check.
+			ref = net.CloneUncompressed()
+		}
 		refs := make([][]float32, len(inputs))
 		for i, data := range inputs {
 			x := tensor.FromSlice(8, 8, 64, data)

@@ -227,6 +227,32 @@ func TestScenarioControlSignalCorruptionDegrades(t *testing.T) {
 	}
 }
 
+// TestScenarioCompressedModelPanicRecovery replays the panic-reclone
+// schedule over a kernel-compressed model: seeded graph.layer panics land
+// mid-inference on the compressed forward path, recovery re-clones must
+// inherit the compression plan, and Law 2 pins every 200 against an
+// uncompressed serial reference — a compressed-vs-uncompressed logits
+// differential running under fault injection.
+func TestScenarioCompressedModelPanicRecovery(t *testing.T) {
+	for _, batching := range []bool{false, true} {
+		t.Run(map[bool]string{false: "unbatched", true: "batched"}[batching], func(t *testing.T) {
+			cfg := Defaults(110)
+			cfg.Compressed = true
+			cfg.Batching = batching
+			cfg.Script = &faultinject.Script{Rules: []faultinject.Rule{{
+				Point:  "graph.layer",
+				Action: faultinject.Panic,
+				Index:  1, // mid-inference: after the compressed conv has run
+				On:     []int64{1, 3, 5},
+			}}}
+			res := mustRun(t, cfg)
+			if res.Snapshot.PanicsRecovered == 0 {
+				t.Error("panics_recovered is 0 after injected panics")
+			}
+		})
+	}
+}
+
 // TestScenarioQueueFullBurst wedges the only replica and floods the
 // server past its one queue slot: the overflow must shed as 429
 // "queue_full" while the admission ledger stays conserved.

@@ -38,6 +38,9 @@ type Builder struct {
 	specs         []spec
 	// noFuse disables the conv→pool fusion planning pass (see fuse.go).
 	noFuse bool
+	// noPress disables the kernel-compression planning pass (see
+	// press.go).
+	noPress bool
 }
 
 // DisableFusion turns off the conv→pool fusion planning pass, compiling
@@ -485,6 +488,10 @@ func (b *Builder) buildFrom(src opSource) (*Network, error) {
 	n.unfused = b.noFuse
 	if !b.noFuse {
 		n.fuse()
+	}
+	n.uncompressed = b.noPress
+	if !b.noPress {
+		n.press()
 	}
 	return n, nil
 }

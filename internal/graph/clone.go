@@ -20,7 +20,7 @@ func (n *Network) Clone() *Network {
 	// lanes stay unfused, so fused-vs-unfused comparisons compare like
 	// with like even through EnsureBatch.
 	b := &Builder{name: n.Name, feat: n.Feat, inH: n.InH, inW: n.InW, inC: n.InC,
-		specs: n.arch, noFuse: n.unfused}
+		specs: n.arch, noFuse: n.unfused, noPress: n.uncompressed}
 	clone, err := b.buildFrom(&reuseSource{layers: n.layers})
 	if err != nil {
 		// The architecture already compiled once; a failure here is a

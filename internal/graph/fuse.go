@@ -51,6 +51,8 @@ type fusedConvPoolLayer struct {
 	pool               *core.Pool
 	in                 *bitpack.Packed // the conv's input edge
 	out                *bitpack.Packed // the pool's output edge
+	// press selects the kernel-compressed forward (see press.go).
+	press bool
 }
 
 // name joins the pair under a stable "conv+pool" identity so per-layer
@@ -61,7 +63,13 @@ func (l *fusedConvPoolLayer) outDims() string {
 	s := l.pool.Shape
 	return fmt.Sprintf("%dx%dx%d", s.OutH, s.OutW, s.OutC)
 }
-func (l *fusedConvPoolLayer) forward(ec *exec.Ctx) { l.conv.ForwardFused(l.in, l.pool, l.out, ec) }
+func (l *fusedConvPoolLayer) forward(ec *exec.Ctx) {
+	if l.press {
+		l.conv.ForwardFusedCompressed(l.in, l.pool, l.out, ec)
+		return
+	}
+	l.conv.ForwardFused(l.in, l.pool, l.out, ec)
+}
 func (l *fusedConvPoolLayer) parallelUnits() int {
 	return l.pool.Shape.OutH * l.pool.Shape.OutW
 }
@@ -120,7 +128,7 @@ func (n *Network) PoolInputBytes(name string) int64 {
 // production paths always take the fused plan.
 func (n *Network) CloneUnfused() *Network {
 	b := &Builder{name: n.Name, feat: n.Feat, inH: n.InH, inW: n.InW, inC: n.InC,
-		specs: n.arch, noFuse: true}
+		specs: n.arch, noFuse: true, noPress: n.uncompressed}
 	clone, err := b.buildFrom(&reuseSource{layers: n.layers})
 	if err != nil {
 		panic(fmt.Sprintf("graph: CloneUnfused of a compiled network failed: %v", err))

@@ -189,15 +189,28 @@ func (n *Network) forwardLayerBatch(li int, lanes []*Network, ec *exec.Ctx) {
 	w := &n.wiring[li]
 	switch l := n.layers[li].(type) {
 	case *convLayer:
-		l.op.ForwardPackedBatch(w.convIns[:B], w.convOuts[:B], ec)
-	case *fusedConvPoolLayer:
-		l.conv.ForwardFusedBatch(w.convIns[:B], l.pool, w.convOuts[:B], ec)
-	case *denseLayer:
-		if l.floatOut != nil {
-			l.op.ForwardFloatBatch(w.denseIns[:B], w.denseFloat[:B], w.denseTmp, ec)
+		if l.press {
+			l.op.ForwardPackedBatchCompressed(w.convIns[:B], w.convOuts[:B], ec)
 			return
 		}
-		l.op.ForwardPackedBatch(w.denseIns[:B], w.densePacked[:B], w.denseTmp, ec)
+		l.op.ForwardPackedBatch(w.convIns[:B], w.convOuts[:B], ec)
+	case *fusedConvPoolLayer:
+		if l.press {
+			l.conv.ForwardFusedBatchCompressed(w.convIns[:B], l.pool, w.convOuts[:B], ec)
+			return
+		}
+		l.conv.ForwardFusedBatch(w.convIns[:B], l.pool, w.convOuts[:B], ec)
+	case *denseLayer:
+		switch {
+		case l.floatOut != nil && l.press:
+			l.op.ForwardFloatBatchCompressed(w.denseIns[:B], w.denseFloat[:B], w.denseTmp, ec)
+		case l.floatOut != nil:
+			l.op.ForwardFloatBatch(w.denseIns[:B], w.denseFloat[:B], w.denseTmp, ec)
+		case l.press:
+			l.op.ForwardPackedBatchCompressed(w.denseIns[:B], w.densePacked[:B], w.denseTmp, ec)
+		default:
+			l.op.ForwardPackedBatch(w.denseIns[:B], w.densePacked[:B], w.denseTmp, ec)
+		}
 	default:
 		for _, lane := range lanes {
 			lane.layers[li].forward(ec)

@@ -70,6 +70,11 @@ type Network struct {
 	fusion  FusionStats
 	unfused bool
 
+	// uncompressed marks a network built with the kernel-compression
+	// planner disabled (Builder.DisableCompression / CloneUncompressed);
+	// see press.go.
+	uncompressed bool
+
 	// lanes is the batched-inference buffer pool (see inferbatch.go):
 	// lane 0 is the network itself, the rest are clones sharing the
 	// packed weights. Grown once by EnsureBatch, never shrunk.
@@ -293,6 +298,9 @@ type convLayer struct {
 	lname   string
 	op      *core.Conv
 	in, out *bitpack.Packed
+	// press selects the kernel-compressed forward (see press.go). It is
+	// per layer, not per operator: clones sharing op can run either path.
+	press bool
 }
 
 func (l *convLayer) name() string { return l.lname }
@@ -301,8 +309,14 @@ func (l *convLayer) outDims() string {
 	s := l.op.Shape
 	return fmt.Sprintf("%dx%dx%d", s.OutH, s.OutW, s.OutC)
 }
-func (l *convLayer) forward(ec *exec.Ctx) { l.op.ForwardPacked(l.in, l.out, ec) }
-func (l *convLayer) parallelUnits() int   { return l.op.Shape.OutH * l.op.Shape.OutW }
+func (l *convLayer) forward(ec *exec.Ctx) {
+	if l.press {
+		l.op.ForwardPackedCompressed(l.in, l.out, ec)
+		return
+	}
+	l.op.ForwardPacked(l.in, l.out, ec)
+}
+func (l *convLayer) parallelUnits() int { return l.op.Shape.OutH * l.op.Shape.OutW }
 func (l *convLayer) weightStats() (int64, int64) {
 	s := l.op.Shape
 	return int64(s.K) * int64(s.KH) * int64(s.KW) * int64(s.InC), 8 * int64(len(l.op.Filter().Words))
@@ -359,17 +373,25 @@ type denseLayer struct {
 	// tmp is the K-length pre-activation scratch, allocated at build
 	// time (per clone — the shared operator carries no mutable state).
 	tmp []int32
+
+	// press selects the kernel-compressed forward (see press.go).
+	press bool
 }
 
 func (l *denseLayer) name() string    { return l.lname }
 func (l *denseLayer) kind() string    { return "fc" }
 func (l *denseLayer) outDims() string { return fmt.Sprintf("%d", l.op.Shape.K) }
 func (l *denseLayer) forward(ec *exec.Ctx) {
-	if l.floatOut != nil {
+	switch {
+	case l.floatOut != nil && l.press:
+		l.op.ForwardFloatCompressed(l.in, l.floatOut, l.tmp, ec)
+	case l.floatOut != nil:
 		l.op.ForwardFloat(l.in, l.floatOut, l.tmp, ec)
-		return
+	case l.press:
+		l.op.ForwardPackedCompressed(l.in, l.packedOut, l.tmp, ec)
+	default:
+		l.op.ForwardPacked(l.in, l.packedOut, l.tmp, ec)
 	}
-	l.op.ForwardPacked(l.in, l.packedOut, l.tmp, ec)
 }
 func (l *denseLayer) weightStats() (int64, int64) {
 	s := l.op.Shape

@@ -259,12 +259,13 @@ func metaFromNetwork(net *graph.Network) Meta {
 	return Meta{
 		Name:   net.Name,
 		InputH: net.InH, InputW: net.InW, InputC: net.InC,
-		Classes:         net.Classes,
-		Layers:          len(net.Layers()),
-		FusedLayers:     net.Fusion().Pairs,
-		Weights:         ms.Weights,
-		PackedBytes:     ms.BinarizedBytes,
-		CompressionRate: ms.Compression(),
+		Classes:          net.Classes,
+		Layers:           len(net.Layers()),
+		FusedLayers:      net.Fusion().Pairs,
+		CompressedLayers: net.CompressedLayers(),
+		Weights:          ms.Weights,
+		PackedBytes:      ms.BinarizedBytes,
+		CompressionRate:  ms.Compression(),
 	}
 }
 

@@ -211,17 +211,21 @@ type Server struct {
 
 // Meta is the /model response.
 type Meta struct {
-	Name            string  `json:"name"`
-	InputH          int     `json:"input_h"`
-	InputW          int     `json:"input_w"`
-	InputC          int     `json:"input_c"`
-	Classes         int     `json:"classes"`
-	Layers          int     `json:"layers"`
-	FusedLayers     int     `json:"fused_layers"`
-	Weights         int64   `json:"weights"`
-	PackedBytes     int64   `json:"packed_bytes"`
-	CompressionRate float64 `json:"compression"`
-	Replicas        int     `json:"replicas"`
+	Name        string `json:"name"`
+	InputH      int    `json:"input_h"`
+	InputW      int    `json:"input_w"`
+	InputC      int    `json:"input_c"`
+	Classes     int    `json:"classes"`
+	Layers      int    `json:"layers"`
+	FusedLayers int    `json:"fused_layers"`
+	// CompressedLayers counts layers running the kernel-compressed
+	// forward path (dedup of repeated packed filter words), as selected
+	// by the load-time planning pass.
+	CompressedLayers int     `json:"compressed_layers"`
+	Weights          int64   `json:"weights"`
+	PackedBytes      int64   `json:"packed_bytes"`
+	CompressionRate  float64 `json:"compression"`
+	Replicas         int     `json:"replicas"`
 }
 
 // InferRequest is the /infer request body.
